@@ -1,0 +1,79 @@
+//! `cargo bench` entry that regenerates scaled-down versions of every paper
+//! figure/table series (the full-scale runs live in the `ndp-bench`
+//! binaries: `cargo run --release -p ndp-bench --bin fig9`, etc.).
+//!
+//! Criterion measures the wall time of each figure driver at a reduced
+//! scale; more importantly, running this under `cargo bench --workspace`
+//! exercises every experiment path end-to-end and prints the headline
+//! series so a bench run doubles as a smoke reproduction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use ndp_core::experiments::{fig7_configs, run_matrix, run_workload};
+use ndp_core::fig5::sweep;
+use ndp_workloads::{Scale, Workload};
+
+fn small_scale() -> Scale {
+    Scale {
+        warps: 128,
+        iters: 4,
+    }
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(5));
+    g.warm_up_time(Duration::from_secs(1));
+    g.bench_function("target_policy_sweep", |b| {
+        b.iter(|| black_box(sweep(8, 64, 2_000, 0x5C17)))
+    });
+    g.finish();
+    // Print the headline number once.
+    let pts = sweep(8, 64, 20_000, 0x5C17);
+    let worst = pts.iter().map(|p| p.overhead()).fold(0.0f64, f64::max);
+    println!("[fig5] worst first-HMC overhead {:.1}% (paper ≤15%)", worst * 100.0);
+}
+
+fn bench_fig7_small(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7_small");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(8));
+    g.warm_up_time(Duration::from_secs(1));
+    let scale = small_scale();
+    // One representative workload per regime to keep cargo-bench time sane.
+    for w in [Workload::Vadd, Workload::Bfs, Workload::Stn] {
+        g.bench_function(w.name(), |b| {
+            b.iter(|| {
+                let m = run_matrix(&fig7_configs(), &[w], &scale, 20_000_000);
+                black_box(m.results[2][0].cycles)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_dynamic_controller(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dyn_controller");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(8));
+    g.warm_up_time(Duration::from_secs(1));
+    let scale = small_scale();
+    g.bench_function("kmn_ndp_dyn", |b| {
+        b.iter(|| {
+            let r = run_workload(
+                Workload::Kmn,
+                ndp_common::SystemConfig::ndp_dynamic(),
+                &scale,
+                20_000_000,
+            );
+            black_box(r.cycles)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(figures, bench_fig5, bench_fig7_small, bench_dynamic_controller);
+criterion_main!(figures);

@@ -1,0 +1,48 @@
+//! Design-choice ablations (DESIGN.md §6): RDF cache probing, NSU command
+//! buffer depth, and the Algorithm 1 epoch length.
+
+use ndp_common::SystemConfig;
+use ndp_core::experiments::run_workload;
+use ndp_workloads::{Workload, workload};
+
+fn main() {
+    let scale = ndp_bench::harness_scale();
+    let wl: Vec<Workload> = match std::env::args().nth(1) {
+        Some(n) => vec![workload(&n).expect("workload name")],
+        None => vec![Workload::Bprop, Workload::Kmn, Workload::Stn],
+    };
+    for w in wl {
+        println!("=== {} ===", w.name());
+        let base = run_workload(w, SystemConfig::baseline(), &scale, 40_000_000);
+        let speed = |r: &ndp_core::RunResult| base.cycles as f64 / r.cycles as f64;
+
+        // RDF cache-probe on/off under the dynamic policy.
+        let on = run_workload(w, SystemConfig::ndp_dynamic(), &scale, 40_000_000);
+        let mut cfg = SystemConfig::ndp_dynamic();
+        cfg.nsu.rdf_probes_gpu_cache = false;
+        let off = run_workload(w, cfg, &scale, 40_000_000);
+        println!(
+            "  RDF probes GPU cache: on {:.3}x  off {:.3}x  (link bytes {} vs {})",
+            speed(&on), speed(&off), on.gpu_link_bytes, off.gpu_link_bytes
+        );
+
+        // Offload command buffer depth (concurrency throttle, §4.3).
+        for entries in [2usize, 10, 32] {
+            let mut cfg = SystemConfig::ndp_static(0.6);
+            cfg.nsu.cmd_entries = entries;
+            let r = run_workload(w, cfg, &scale, 40_000_000);
+            println!("  cmd buffer {:>2} entries: {:.3}x", entries, speed(&r));
+        }
+
+        // Epoch length for the hill climber (§7.2).
+        for epoch in [10_000u64, 30_000, 100_000] {
+            let mut cfg = SystemConfig::ndp_dynamic();
+            cfg.hill_climb.epoch_cycles = epoch;
+            let r = run_workload(w, cfg, &scale, 40_000_000);
+            println!(
+                "  epoch {:>6} cycles: {:.3}x (achieved ratio {:.2})",
+                epoch, speed(&r), r.offload_fraction()
+            );
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! §7.1 fine-grained ratio study: "The performance of BICG did not improve
+//! with the evaluated static offloading but it was due to the large
+//! granularity we used to change the offload ratio ... the offload ratio of
+//! 0.15 resulted in an 11.5% speedup."
+
+use ndp_common::SystemConfig;
+use ndp_core::experiments::run_workload;
+use ndp_workloads::Workload;
+
+fn main() {
+    let scale = ndp_bench::harness_scale();
+    let base = run_workload(Workload::Bicg, SystemConfig::baseline(), &scale, 40_000_000);
+    println!("§7.1: BICG at fine-grained offload ratios (speedup over baseline)\n");
+    let mut best = (0.0f64, 0.0f64);
+    for r in [0.05, 0.10, 0.15, 0.20, 0.25, 0.30] {
+        let run = run_workload(Workload::Bicg, SystemConfig::ndp_static(r), &scale, 40_000_000);
+        let sp = base.cycles as f64 / run.cycles as f64;
+        if sp > best.1 {
+            best = (r, sp);
+        }
+        println!("  ratio {:.2}: {:.3}x", r, sp);
+    }
+    println!(
+        "\nbest fine ratio: {:.2} at {:.3}x (paper: 0.15 at 1.115x)",
+        best.0, best.1
+    );
+}

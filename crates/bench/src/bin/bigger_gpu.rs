@@ -1,0 +1,20 @@
+//! §7.3 — sensitivity to a more powerful GPU: double the compute units in
+//! every configuration (paper: the proposed mechanism still gains 11.6%).
+
+use ndp_common::SystemConfig;
+use ndp_workloads::WORKLOADS;
+
+fn main() {
+    let double = |mut c: SystemConfig| {
+        c.gpu.num_sms *= 2;
+        c
+    };
+    let configs = vec![
+        ("Baseline(2x)", double(SystemConfig::baseline())),
+        ("NDP(Dyn)_Cache(2x)", double(SystemConfig::ndp_dynamic_cache())),
+    ];
+    let m = ndp_bench::run(&configs, &WORKLOADS);
+    println!("§7.3: doubled compute units (speedup over the 2x baseline)\n");
+    ndp_bench::print_speedups(&m, "Baseline(2x)");
+    println!("(paper: 11.6% average speedup with 2x compute units)");
+}

@@ -1,0 +1,36 @@
+//! Quick calibration sweep: Baseline vs NaiveNDP vs NDP(0.4) per workload,
+//! with wall-clock timing per simulation. Not one of the paper figures —
+//! a development aid.
+
+use ndp_common::SystemConfig;
+use ndp_core::experiments::run_workload;
+use ndp_workloads::WORKLOADS;
+
+fn main() {
+    let scale = ndp_bench::harness_scale();
+    println!("scale: {} warps × {} iters", scale.warps, scale.iters);
+    for w in WORKLOADS {
+        let t0 = std::time::Instant::now();
+        let base = run_workload(w, SystemConfig::baseline(), &scale, 40_000_000);
+        let t1 = std::time::Instant::now();
+        let naive = run_workload(w, SystemConfig::naive_ndp(), &scale, 40_000_000);
+        let t2 = std::time::Instant::now();
+        let half = run_workload(w, SystemConfig::ndp_static(0.4), &scale, 40_000_000);
+        println!(
+            "{:8} base {:>9}cy ({:>5.1}s) naive x{:.3} ({:.1}s, ofl {:.2}, nsu {}) s0.4 x{:.3} | link {:>6}KB->{:<6}KB memnet {:>6}KB {}{}",
+            w.name(),
+            base.cycles,
+            t1.duration_since(t0).as_secs_f64(),
+            base.cycles as f64 / naive.cycles as f64,
+            t2.duration_since(t1).as_secs_f64(),
+            naive.offload_fraction(),
+            naive.nsu_instrs,
+            base.cycles as f64 / half.cycles as f64,
+            base.gpu_link_bytes / 1024,
+            naive.gpu_link_bytes / 1024,
+            naive.memnet_bytes / 1024,
+            if base.timed_out { "BASE-TIMEOUT " } else { "" },
+            if naive.timed_out { "NAIVE-TIMEOUT" } else { "" },
+        );
+    }
+}

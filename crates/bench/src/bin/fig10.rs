@@ -1,0 +1,41 @@
+//! Fig. 10 — normalized energy for baselines and NDP mechanisms (§7.4).
+
+use ndp_core::experiments::fig10_configs;
+use ndp_energy::EnergyParams;
+use ndp_workloads::WORKLOADS;
+
+fn main() {
+    let m = ndp_bench::run(&fig10_configs(), &WORKLOADS);
+    let params = EnergyParams::default();
+    println!("Fig. 10: energy breakdown, normalized to Baseline total\n");
+    let mut rows = vec![];
+    let mut ratios: Vec<Vec<f64>> = vec![vec![]; m.configs.len()];
+    for (wi, w) in m.workloads.iter().enumerate() {
+        let base = m.results[0][wi].energy(&params).total();
+        for (ci, c) in m.configs.iter().enumerate() {
+            let e = m.results[ci][wi].energy(&params);
+            ratios[ci].push(e.total() / base);
+            rows.push(vec![
+                w.name().to_string(),
+                c.to_string(),
+                format!("{:.3}", e.gpu / base),
+                format!("{:.3}", e.nsu / base),
+                format!("{:.3}", e.intra_hmc / base),
+                format!("{:.3}", e.offchip / base),
+                format!("{:.3}", e.dram / base),
+                format!("{:.3}", e.total() / base),
+            ]);
+        }
+    }
+    println!(
+        "{}",
+        ndp_core::table::render(
+            &["Workload", "Config", "GPU", "NSU", "IntraHMC", "OffchipICNT", "DRAM", "Total"],
+            &rows
+        )
+    );
+    for (ci, c) in m.configs.iter().enumerate() {
+        println!("GMEAN normalized energy, {}: {:.3}", c, ndp_common::stats::geomean(&ratios[ci]));
+    }
+    println!("(paper: NDP(Dyn) −7.5% avg, NDP(Dyn)_Cache −8.6% avg, up to −37.6% for KMN)");
+}

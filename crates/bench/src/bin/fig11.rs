@@ -1,0 +1,33 @@
+//! Fig. 11 — NSU I-cache utilization and warp occupancy (§7.5).
+
+use ndp_common::SystemConfig;
+use ndp_core::experiments::run_workload;
+use ndp_workloads::WORKLOADS;
+
+fn main() {
+    let scale = ndp_bench::harness_scale();
+    println!("Fig. 11: NSU I-cache utilization and average warp occupancy\n");
+    let mut rows = vec![];
+    let mut occ = vec![];
+    let mut icu = vec![];
+    for w in WORKLOADS {
+        let r = run_workload(w, SystemConfig::ndp_dynamic_cache(), &scale, 40_000_000);
+        rows.push(vec![
+            w.name().to_string(),
+            format!("{:.1}%", r.nsu_icache_util * 100.0),
+            format!("{:.1}%", r.nsu_occupancy * 100.0),
+        ]);
+        occ.push(r.nsu_occupancy);
+        icu.push(r.nsu_icache_util);
+    }
+    println!(
+        "{}",
+        ndp_core::table::render(&["Workload", "I-cache util", "warp occupancy"], &rows)
+    );
+    let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    println!(
+        "averages: icache {:.1}% (paper 23.7%), occupancy {:.1}% (paper 22.1%, max 39.3%)",
+        avg(&icu) * 100.0,
+        avg(&occ) * 100.0
+    );
+}

@@ -1,0 +1,29 @@
+//! Fig. 5 — impact of the target-NSU selection policy on off-chip traffic.
+
+use ndp_core::fig5::sweep;
+
+fn main() {
+    let pts = sweep(8, 64, 20_000, 0x5C17);
+    println!("Fig. 5: normalized traffic vs #memory accesses (8 HMCs)\n");
+    let rows: Vec<Vec<String>> = pts
+        .iter()
+        .filter(|p| p.accesses == 1 || p.accesses % 4 == 0)
+        .map(|p| {
+            vec![
+                p.accesses.to_string(),
+                format!("{:.3}", p.optimal),
+                format!("{:.3}", p.first),
+                format!("{:+.1}%", p.overhead() * 100.0),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        ndp_core::table::render(
+            &["#accesses", "optimal HMC", "first HMC", "overhead"],
+            &rows
+        )
+    );
+    let worst = pts.iter().map(|p| p.overhead()).fold(0.0f64, f64::max);
+    println!("worst-case overhead of the first-HMC policy: {:.1}% (paper: ≤15%)", worst * 100.0);
+}

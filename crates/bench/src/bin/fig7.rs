@@ -1,0 +1,11 @@
+//! Fig. 7 — performance of the naive NDP mechanism vs the baselines (§6).
+
+use ndp_core::experiments::fig7_configs;
+use ndp_workloads::WORKLOADS;
+
+fn main() {
+    let m = ndp_bench::run(&fig7_configs(), &WORKLOADS);
+    println!("Fig. 7: naive NDP vs baselines (speedup over Baseline)\n");
+    ndp_bench::print_speedups(&m, "Baseline");
+    ndp_bench::dump_json("fig7.json", &m);
+}

@@ -1,0 +1,33 @@
+//! Fig. 8 — breakdown of instruction no-issue cycles on the GPU (§6),
+//! normalized to the baseline's total no-issue cycles.
+
+use ndp_core::experiments::fig7_configs;
+use ndp_workloads::WORKLOADS;
+
+fn main() {
+    let m = ndp_bench::run(&fig7_configs(), &WORKLOADS);
+    println!("Fig. 8: no-issue cycle breakdown (normalized to Baseline total)\n");
+    let mut rows = vec![];
+    for (wi, w) in m.workloads.iter().enumerate() {
+        let base_total = m.results[0][wi].issue.no_issue_total() as f64;
+        for (ci, c) in m.configs.iter().enumerate() {
+            let s = &m.results[ci][wi].issue;
+            rows.push(vec![
+                w.name().to_string(),
+                c.to_string(),
+                format!("{:.3}", s.exec_unit_busy as f64 / base_total),
+                format!("{:.3}", s.dependency_stall as f64 / base_total),
+                format!("{:.3}", s.warp_idle as f64 / base_total),
+                format!("{:.3}", s.no_issue_total() as f64 / base_total),
+            ]);
+        }
+    }
+    println!(
+        "{}",
+        ndp_core::table::render(
+            &["Workload", "Config", "ExecUnitBusy", "DependencyStall", "WarpIdle", "Total"],
+            &rows
+        )
+    );
+    println!("Expected shape (paper): NaiveNDP inflates WarpIdle (warps blocked on ACKs).");
+}

@@ -1,0 +1,17 @@
+//! Fig. 9 — static offload ratios 0.2–1.0, NDP(Dyn), NDP(Dyn)_Cache (§7).
+
+use ndp_core::experiments::fig9_configs;
+use ndp_workloads::WORKLOADS;
+
+fn main() {
+    let m = ndp_bench::run(&fig9_configs(), &WORKLOADS);
+    println!("Fig. 9: NDP speedup over Baseline as the offload ratio varies\n");
+    ndp_bench::print_speedups(&m, "Baseline");
+    ndp_bench::dump_json("fig9.json", &m);
+    // Achieved dynamic ratios, for the record.
+    let dyn_i = m.config_index("NDP(Dyn)").expect("present");
+    println!("achieved offload fraction under NDP(Dyn):");
+    for (wi, w) in m.workloads.iter().enumerate() {
+        println!("  {:8} {:.2}", w.name(), m.results[dyn_i][wi].offload_fraction());
+    }
+}

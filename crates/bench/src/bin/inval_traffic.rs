@@ -1,0 +1,31 @@
+//! §4.2 — cache-invalidation traffic overhead of NSU writes, relative to
+//! the workload's baseline off-chip traffic (paper: ≤1.42%, avg 0.38%).
+
+use ndp_common::SystemConfig;
+use ndp_core::experiments::run_workload;
+use ndp_workloads::WORKLOADS;
+
+fn main() {
+    let scale = ndp_bench::harness_scale();
+    println!("§4.2: cache-invalidation traffic overhead\n");
+    let mut rows = vec![];
+    let mut fracs = vec![];
+    for w in WORKLOADS {
+        let base = run_workload(w, SystemConfig::baseline(), &scale, 40_000_000);
+        let ndp = run_workload(w, SystemConfig::ndp_dynamic_cache(), &scale, 40_000_000);
+        let frac = ndp.inval_bytes as f64 / base.gpu_link_bytes.max(1) as f64;
+        fracs.push(frac);
+        rows.push(vec![
+            w.name().to_string(),
+            format!("{}", ndp.inval_bytes),
+            format!("{:.3}%", frac * 100.0),
+        ]);
+    }
+    println!(
+        "{}",
+        ndp_core::table::render(&["Workload", "inval bytes", "overhead"], &rows)
+    );
+    let avg = fracs.iter().sum::<f64>() / fracs.len() as f64;
+    let max = fracs.iter().cloned().fold(0.0f64, f64::max);
+    println!("avg {:.2}% (paper 0.38%), max {:.2}% (paper 1.42%)", avg * 100.0, max * 100.0);
+}

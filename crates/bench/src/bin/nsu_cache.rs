@@ -1,0 +1,30 @@
+//! §7.1 suggested fix: "such a workload can benefit from adding a small
+//! read-only cache to each NSU with minimal cost." Compares BPROP (the
+//! workload that ships its hot 68 B structure off-chip on every offloaded
+//! instance) with and without a 4 KB read-only NSU cache.
+
+use ndp_common::SystemConfig;
+use ndp_core::experiments::run_workload;
+use ndp_workloads::Workload;
+
+fn main() {
+    let scale = ndp_bench::harness_scale();
+    for w in [Workload::Bprop, Workload::Bicg] {
+        let base = run_workload(w, SystemConfig::baseline(), &scale, 40_000_000);
+        let plain = run_workload(w, SystemConfig::ndp_static(0.6), &scale, 40_000_000);
+        let mut cfg = SystemConfig::ndp_static(0.6);
+        cfg.nsu.readonly_cache_bytes = 4096;
+        let cached = run_workload(w, cfg, &scale, 40_000_000);
+        println!("=== {} (NDP at ratio 0.6) ===", w.name());
+        println!(
+            "  no NSU cache : {:.3}x speedup, {:>8} KB GPU-link traffic",
+            base.cycles as f64 / plain.cycles as f64,
+            plain.gpu_link_bytes / 1024
+        );
+        println!(
+            "  4 KB RO cache: {:.3}x speedup, {:>8} KB GPU-link traffic",
+            base.cycles as f64 / cached.cycles as f64,
+            cached.gpu_link_bytes / 1024
+        );
+    }
+}

@@ -1,0 +1,20 @@
+//! §7.6 — performance sensitivity to the NSU clock: 350 MHz vs 175 MHz
+//! (paper: 175 MHz retains most of the benefit — 14.1% avg vs 17.9%).
+
+use ndp_common::SystemConfig;
+use ndp_workloads::WORKLOADS;
+
+fn main() {
+    let slow = |mut c: SystemConfig| {
+        c.nsu.clock_mhz = 175;
+        c
+    };
+    let configs = vec![
+        ("Baseline", SystemConfig::baseline()),
+        ("NDP@350MHz", SystemConfig::ndp_dynamic_cache()),
+        ("NDP@175MHz", slow(SystemConfig::ndp_dynamic_cache())),
+    ];
+    let m = ndp_bench::run(&configs, &WORKLOADS);
+    println!("§7.6: NSU frequency sensitivity (speedup over Baseline)\n");
+    ndp_bench::print_speedups(&m, "Baseline");
+}

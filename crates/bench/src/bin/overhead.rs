@@ -1,0 +1,30 @@
+//! §7.5 — GPU-side hardware overhead of the NDP buffers.
+
+use ndp_common::SystemConfig;
+use ndp_core::experiments::run_workload;
+use ndp_workloads::{Workload, WORKLOADS};
+
+fn main() {
+    let c = SystemConfig::default();
+    let buf = c.sm_ndp_buffer_bytes();
+    let total = c.sm_onchip_storage_bytes();
+    println!("§7.5: hardware overhead\n");
+    println!("per-SM NDP packet buffers : {} B (paper: 2.84 KB)", buf);
+    println!(
+        "fraction of on-chip storage: {:.1}% (paper: 1.8%)",
+        buf as f64 / total as f64 * 100.0
+    );
+    // Observed peak buffer occupancy across a representative NDP run.
+    let scale = ndp_bench::harness_scale();
+    let mut worst = (0usize, 0usize);
+    for w in [Workload::Vadd, Workload::Kmn, Workload::Bfs] {
+        let r = run_workload(w, SystemConfig::naive_ndp(), &scale, 40_000_000);
+        worst.0 = worst.0.max(r.sm_buffer_peaks.0);
+        worst.1 = worst.1.max(r.sm_buffer_peaks.1);
+    }
+    println!(
+        "peak occupancy observed     : pending {} / {} entries, ready {} / {}",
+        worst.0, c.nsu.sm_pending_entries, worst.1, c.nsu.sm_ready_entries
+    );
+    let _ = WORKLOADS;
+}

@@ -1,0 +1,40 @@
+//! Table 1 — evaluated workloads and their offload-block sizes, as
+//! extracted by the static analyzer (§3.1).
+
+use ndp_compiler::{compile, table1_row, CompilerConfig};
+use ndp_workloads::{Scale, WORKLOADS};
+
+fn main() {
+    let scale = Scale::tiny(); // block structure is scale-invariant
+    let mut rows = vec![];
+    let mut tot_in = 0.0;
+    let mut tot_out = 0.0;
+    let mut nblocks = 0.0;
+    for w in WORKLOADS {
+        let p = w.build(&scale);
+        let ck = compile(&p, &CompilerConfig::default());
+        let row = table1_row(w.name(), w.description(), &ck);
+        tot_in += row.avg_regs_in * ck.blocks.len() as f64;
+        tot_out += row.avg_regs_out * ck.blocks.len() as f64;
+        nblocks += ck.blocks.len() as f64;
+        rows.push(vec![
+            w.name().to_string(),
+            w.description().to_string(),
+            row.sizes_string(),
+            format!("{:?}", w.table1_sizes()),
+        ]);
+    }
+    println!("Table 1: workloads and offload-block sizes (NSU instructions)\n");
+    println!(
+        "{}",
+        ndp_core::table::render(
+            &["Abbr.", "Description", "# instrs (measured)", "paper"],
+            &rows
+        )
+    );
+    println!(
+        "avg registers transferred per block: {:.2} in / {:.2} out (paper: 0.41 / 0.47)",
+        tot_in / nblocks,
+        tot_out / nblocks
+    );
+}

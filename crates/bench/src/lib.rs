@@ -1,0 +1,117 @@
+//! Benchmark & figure-regeneration harness.
+//!
+//! Binaries (one per paper table/figure — see DESIGN.md §4):
+//! `table1`, `table2`, `fig5`, `fig7`, `fig8`, `fig9`, `fig10`, `fig11`,
+//! `inval_traffic`, `bigger_gpu`, `nsu_freq`, `overhead`, plus `calibrate`
+//! (quick whole-matrix sanity sweep). Criterion micro-benchmarks live in
+//! `benches/`.
+
+use ndp_core::experiments::{run_matrix, Matrix, DEFAULT_MAX_CYCLES};
+use ndp_core::result::RunResult;
+use ndp_workloads::{Scale, Workload};
+
+/// Default evaluation scale for the harness binaries. Override with
+/// `NDP_WARPS` / `NDP_ITERS` environment variables.
+pub fn harness_scale() -> Scale {
+    let env_u32 = |k: &str, d: u32| {
+        std::env::var(k)
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(d)
+    };
+    Scale {
+        warps: env_u32("NDP_WARPS", Scale::eval().warps),
+        iters: env_u32("NDP_ITERS", Scale::eval().iters),
+    }
+}
+
+/// Run a config × workload matrix at the harness scale. The Algorithm 1
+/// epoch length follows `NDP_EPOCH` (cycles) so that scaled-down runs still
+/// span enough epochs for the hill climber to converge.
+pub fn run(configs: &[(&str, ndp_common::SystemConfig)], workloads: &[Workload]) -> Matrix {
+    let epoch: u64 = std::env::var("NDP_EPOCH")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(30_000);
+    let configs: Vec<(&str, ndp_common::SystemConfig)> = configs
+        .iter()
+        .map(|(n, c)| {
+            let mut c = c.clone();
+            c.hill_climb.epoch_cycles = epoch;
+            (*n, c)
+        })
+        .collect();
+    run_matrix(&configs, workloads, &harness_scale(), DEFAULT_MAX_CYCLES)
+}
+
+/// Print a speedup-vs-baseline table for a matrix (Fig. 7/9 format) with a
+/// GMEAN column.
+pub fn print_speedups(m: &Matrix, baseline: &str) {
+    let mut headers: Vec<&str> = vec!["Workload"];
+    for c in &m.configs {
+        headers.push(c);
+    }
+    let mut rows = vec![];
+    for (wi, w) in m.workloads.iter().enumerate() {
+        let mut row = vec![w.name().to_string()];
+        let b = m.config_index(baseline).expect("baseline present");
+        for ci in 0..m.configs.len() {
+            row.push(format!(
+                "{:.3}",
+                m.results[b][wi].cycles as f64 / m.results[ci][wi].cycles as f64
+            ));
+        }
+        rows.push(row);
+    }
+    // GMEAN row.
+    let mut gm = vec!["GMEAN".to_string()];
+    for ci in 0..m.configs.len() {
+        let sp = m.speedups(&m.configs[ci], baseline);
+        gm.push(format!("{:.3}", ndp_common::stats::geomean(&sp)));
+    }
+    rows.push(gm);
+    println!("{}", ndp_core::table::render(&headers, &rows));
+    for row in m.results.iter().flatten() {
+        if row.timed_out {
+            println!("WARNING: {} / {} timed out", row.config, row.workload);
+        }
+    }
+}
+
+/// Dump the raw matrix as JSON next to the textual table (for EXPERIMENTS.md
+/// bookkeeping and regression diffs).
+pub fn dump_json(path: &str, m: &Matrix) {
+    #[derive(serde::Serialize)]
+    struct Row<'a> {
+        config: &'a str,
+        workload: &'a str,
+        cycles: u64,
+        gpu_link_bytes: u64,
+        memnet_bytes: u64,
+        nsu_instrs: u64,
+        offload_fraction: f64,
+    }
+    let rows: Vec<Row> = m
+        .configs
+        .iter()
+        .enumerate()
+        .flat_map(|(ci, c)| {
+            m.workloads.iter().enumerate().map(move |(wi, w)| (ci, c, wi, w))
+        })
+        .map(|(ci, c, wi, w)| {
+            let r: &RunResult = &m.results[ci][wi];
+            Row {
+                config: c,
+                workload: w.name(),
+                cycles: r.cycles,
+                gpu_link_bytes: r.gpu_link_bytes,
+                memnet_bytes: r.memnet_bytes,
+                nsu_instrs: r.nsu_instrs,
+                offload_fraction: r.offload_fraction(),
+            }
+        })
+        .collect();
+    if let Ok(s) = serde_json::to_string_pretty(&rows) {
+        let _ = std::fs::write(path, s);
+    }
+}

@@ -1,0 +1,446 @@
+//! System configuration, following Table 2 of the paper.
+//!
+//! Every experiment configuration (Baseline, Baseline_MoreCore, NaiveNDP,
+//! NDP(r), NDP(Dyn), NDP(Dyn)_Cache, the §7.3 bigger-GPU study and the §7.6
+//! NSU frequency study) is expressed as a mutation of [`SystemConfig::default`],
+//! which reproduces Table 2 exactly.
+
+use serde::{Deserialize, Serialize};
+
+/// GPU-side configuration (Table 2, upper block).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GpuConfig {
+    /// Number of streaming multiprocessors (64 in Table 2).
+    pub num_sms: usize,
+    /// Hardware warp contexts per SM (1536 threads / 32-wide warps = 48).
+    pub warps_per_sm: usize,
+    /// SIMT width (threads per warp).
+    pub warp_width: usize,
+    /// Instruction issue slots per SM per cycle (GPGPU-sim style dual
+    /// scheduler).
+    pub issue_width: usize,
+    /// SM core clock in MHz (also used for the crossbar/L2 timebase).
+    pub sm_clock_mhz: u32,
+    /// L1 data cache capacity in bytes (32 KB).
+    pub l1d_bytes: usize,
+    /// L1 data cache associativity.
+    pub l1d_ways: usize,
+    /// L1 data cache MSHR entries.
+    pub l1d_mshrs: usize,
+    /// L1 instruction cache capacity in bytes (4 KB; modelled only for the
+    /// footprint statistics of Fig. 11's GPU analogue).
+    pub l1i_bytes: usize,
+    /// Unified L2 capacity in bytes (2 MB), sliced across GPU↔HMC links.
+    pub l2_bytes: usize,
+    /// L2 associativity (16).
+    pub l2_ways: usize,
+    /// L2 MSHR entries per slice.
+    pub l2_mshrs: usize,
+    /// Cache line size in bytes (128).
+    pub line_bytes: usize,
+    /// Number of bidirectional GPU↔HMC links (8).
+    pub num_links: usize,
+    /// Per-direction bandwidth of each GPU↔HMC link in GB/s (20).
+    pub link_gbps: f64,
+    /// L1 hit latency in SM cycles.
+    pub l1_hit_latency: u32,
+    /// Additional latency for an L2 hit (crossbar + L2 array), in SM cycles.
+    pub l2_hit_latency: u32,
+    /// Fixed propagation latency of a GPU↔HMC link, in SM cycles
+    /// (SerDes + board trace; serialization is modelled separately from
+    /// bandwidth).
+    pub link_latency: u32,
+    /// ALU result latency in SM cycles.
+    pub alu_latency: u32,
+    /// Special-function (division, sqrt) latency in SM cycles.
+    pub sfu_latency: u32,
+}
+
+impl Default for GpuConfig {
+    fn default() -> Self {
+        GpuConfig {
+            num_sms: 64,
+            warps_per_sm: 48,
+            warp_width: 32,
+            issue_width: 2,
+            sm_clock_mhz: 700,
+            l1d_bytes: 32 * 1024,
+            l1d_ways: 4,
+            l1d_mshrs: 48,
+            l1i_bytes: 4 * 1024,
+            l2_bytes: 2 * 1024 * 1024,
+            l2_ways: 16,
+            l2_mshrs: 48,
+            line_bytes: 128,
+            num_links: 8,
+            link_gbps: 20.0,
+            l1_hit_latency: 28,
+            l2_hit_latency: 64,
+            link_latency: 20,
+            alu_latency: 4,
+            sfu_latency: 16,
+        }
+    }
+}
+
+/// DRAM timing parameters in DRAM clock cycles (Table 2: DDR3-1333H).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct DramTiming {
+    /// DRAM clock period in picoseconds (tCK = 1.50 ns).
+    pub tck_ps: u64,
+    /// Row precharge.
+    pub t_rp: u32,
+    /// Column-to-column delay (burst gap).
+    pub t_ccd: u32,
+    /// RAS-to-CAS delay.
+    pub t_rcd: u32,
+    /// CAS latency.
+    pub t_cl: u32,
+    /// Write recovery.
+    pub t_wr: u32,
+    /// Row-active minimum.
+    pub t_ras: u32,
+}
+
+impl Default for DramTiming {
+    fn default() -> Self {
+        DramTiming {
+            tck_ps: 1500,
+            t_rp: 9,
+            t_ccd: 4,
+            t_rcd: 9,
+            t_cl: 9,
+            t_wr: 12,
+            t_ras: 24,
+        }
+    }
+}
+
+/// HMC-side configuration (Table 2, middle block).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HmcConfig {
+    /// Number of memory stacks in the system (8).
+    pub num_hmcs: usize,
+    /// Vaults per stack (16).
+    pub vaults_per_hmc: usize,
+    /// Banks per vault (16).
+    pub banks_per_vault: usize,
+    /// Stack capacity in bytes (4 GB).
+    pub capacity_bytes: u64,
+    /// Vault request queue entries for the FR-FCFS scheduler (64).
+    pub vault_queue: usize,
+    /// Bytes transferred per column access (DDR3 x32 burst-of-8 = 32 B).
+    pub burst_bytes: usize,
+    /// DRAM row size in bytes used for activation energy (4 KB row, §5).
+    pub row_bytes: usize,
+    /// DRAM timing parameters.
+    pub timing: DramTiming,
+    /// Memory-network links per HMC (3, leaving 1 of the 4 HMC links for
+    /// the GPU).
+    pub memnet_links: usize,
+    /// Per-direction bandwidth of each HMC link in GB/s (20).
+    pub link_gbps: f64,
+    /// Fixed per-hop latency of a memory-network link in SM cycles.
+    pub memnet_hop_latency: u32,
+    /// Intra-HMC crossbar traversal latency in SM cycles.
+    pub xbar_latency: u32,
+}
+
+impl Default for HmcConfig {
+    fn default() -> Self {
+        HmcConfig {
+            num_hmcs: 8,
+            vaults_per_hmc: 16,
+            banks_per_vault: 16,
+            capacity_bytes: 4 << 30,
+            vault_queue: 64,
+            burst_bytes: 32,
+            row_bytes: 4096,
+            timing: DramTiming::default(),
+            memnet_links: 3,
+            link_gbps: 20.0,
+            memnet_hop_latency: 12,
+            xbar_latency: 4,
+        }
+    }
+}
+
+/// NSU and NDP-buffer configuration (Table 2, bottom block).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NsuConfig {
+    /// NSU clock in MHz (350, i.e. half the SM clock; §7.6 studies 175).
+    pub clock_mhz: u32,
+    /// Hardware warp slots per NSU (48).
+    pub warp_slots: usize,
+    /// SIMD width (32).
+    pub warp_width: usize,
+    /// Instruction cache capacity in bytes (4 KB).
+    pub icache_bytes: usize,
+    /// Constant cache capacity in bytes (4 KB).
+    pub ccache_bytes: usize,
+    /// Read data buffer entries (256 × 128 B).
+    pub read_data_entries: usize,
+    /// Write address buffer entries (256 × 128 B).
+    pub write_addr_entries: usize,
+    /// Offload command buffer entries (10).
+    pub cmd_entries: usize,
+    /// Per-SM pending packet buffer entries (300 × 8 B).
+    pub sm_pending_entries: usize,
+    /// Per-SM ready packet buffer entries (64 × 8 B).
+    pub sm_ready_entries: usize,
+    /// Optional small read-only data cache on the NSU (bytes; 0 = none).
+    ///
+    /// The paper suggests this as a cheap fix for BPROP-style workloads that
+    /// repeatedly ship a small cached structure off-chip (§7.1); it is an
+    /// ablation in our harness, disabled by default.
+    pub readonly_cache_bytes: usize,
+    /// Whether RDF packets probe the GPU caches on their way out (§4.1,
+    /// Fig. 6(a)). Disabling this is an ablation: every RDF goes straight
+    /// to DRAM, which hurts cache-friendly blocks twice (stale bandwidth on
+    /// hot lines) but saves the GPU-link data shipping for hits.
+    pub rdf_probes_gpu_cache: bool,
+}
+
+impl Default for NsuConfig {
+    fn default() -> Self {
+        NsuConfig {
+            clock_mhz: 350,
+            warp_slots: 48,
+            warp_width: 32,
+            icache_bytes: 4 * 1024,
+            ccache_bytes: 4 * 1024,
+            read_data_entries: 256,
+            write_addr_entries: 256,
+            cmd_entries: 10,
+            sm_pending_entries: 300,
+            sm_ready_entries: 64,
+            readonly_cache_bytes: 0,
+            rdf_probes_gpu_cache: true,
+        }
+    }
+}
+
+/// How offload decisions are made for each offload-block instance (§6–7).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum OffloadPolicy {
+    /// Never offload: the plain GPU baseline.
+    Never,
+    /// Offload every instance (the §6 "NaiveNDP" configuration).
+    Always,
+    /// Offload a static fraction of instances, chosen pseudo-randomly (§7.1).
+    Static(f64),
+    /// Hill-climbing dynamic offload ratio (Algorithm 1, §7.2).
+    Dynamic,
+    /// Dynamic ratio + cache-locality-aware suppression (§7.3).
+    DynamicCacheAware,
+}
+
+/// Parameters of the hill-climbing controller (Algorithm 1; values from §7.2).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct HillClimbConfig {
+    /// Epoch length in SM cycles (30 000).
+    pub epoch_cycles: u64,
+    /// Initial offload ratio (0.1).
+    pub initial_ratio: f64,
+    /// Initial step size (0.15).
+    pub initial_step: f64,
+    /// Granularity of step-size change (0.05).
+    pub step_unit: f64,
+    /// Minimum step size (0.05).
+    pub step_min: f64,
+    /// Maximum step size (0.15).
+    pub step_max: f64,
+    /// Direction-change history window (4).
+    pub window: usize,
+}
+
+impl Default for HillClimbConfig {
+    fn default() -> Self {
+        HillClimbConfig {
+            epoch_cycles: 30_000,
+            initial_ratio: 0.1,
+            initial_step: 0.15,
+            step_unit: 0.05,
+            step_min: 0.05,
+            step_max: 0.15,
+            window: 4,
+        }
+    }
+}
+
+/// Full system configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SystemConfig {
+    pub gpu: GpuConfig,
+    pub hmc: HmcConfig,
+    pub nsu: NsuConfig,
+    pub offload: OffloadPolicy,
+    pub hill_climb: HillClimbConfig,
+    /// Page size for the random page→HMC interleaving (4 KB, §5).
+    pub page_bytes: u64,
+    /// Seed for all pseudo-random simulator state (page map, static-ratio
+    /// sampling). Fixed seed ⇒ bit-reproducible runs.
+    pub seed: u64,
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        SystemConfig {
+            gpu: GpuConfig::default(),
+            hmc: HmcConfig::default(),
+            nsu: NsuConfig::default(),
+            offload: OffloadPolicy::Never,
+            hill_climb: HillClimbConfig::default(),
+            page_bytes: 4096,
+            seed: 0x5C17_2017,
+        }
+    }
+}
+
+impl SystemConfig {
+    /// Baseline (Table 2, no NDP).
+    pub fn baseline() -> Self {
+        Self::default()
+    }
+
+    /// `Baseline_MoreCore`: 8 extra SMs instead of the 8 NSUs (§6).
+    pub fn baseline_more_core() -> Self {
+        let mut c = Self::default();
+        c.gpu.num_sms += c.hmc.num_hmcs;
+        c
+    }
+
+    /// Naive NDP: every offload-block instance is offloaded (§6).
+    pub fn naive_ndp() -> Self {
+        let mut c = Self::default();
+        c.offload = OffloadPolicy::Always;
+        c
+    }
+
+    /// NDP with a static offload ratio (§7.1).
+    pub fn ndp_static(ratio: f64) -> Self {
+        let mut c = Self::default();
+        c.offload = OffloadPolicy::Static(ratio);
+        c
+    }
+
+    /// NDP with the dynamic hill-climbing ratio (§7.2).
+    pub fn ndp_dynamic() -> Self {
+        let mut c = Self::default();
+        c.offload = OffloadPolicy::Dynamic;
+        c
+    }
+
+    /// NDP with dynamic ratio + cache-locality gating (§7.3).
+    pub fn ndp_dynamic_cache() -> Self {
+        let mut c = Self::default();
+        c.offload = OffloadPolicy::DynamicCacheAware;
+        c
+    }
+
+    /// Bytes a link moves per SM cycle, given its GB/s rating.
+    pub fn bytes_per_cycle(&self, gbps: f64) -> f64 {
+        gbps * 1e9 / (self.gpu.sm_clock_mhz as f64 * 1e6)
+    }
+
+    /// The NSU clock divider relative to the SM clock (2 for 350 MHz).
+    pub fn nsu_divider(&self) -> u64 {
+        (self.gpu.sm_clock_mhz as u64).div_ceil(self.nsu.clock_mhz as u64)
+    }
+
+    /// Number of L2 slices (one per GPU↔HMC link).
+    pub fn l2_slices(&self) -> usize {
+        self.gpu.num_links
+    }
+
+    /// Aggregate peak DRAM bandwidth of all stacks, GB/s.
+    pub fn aggregate_dram_gbps(&self) -> f64 {
+        let t = &self.hmc.timing;
+        let per_vault =
+            self.hmc.burst_bytes as f64 / (t.t_ccd as f64 * t.tck_ps as f64 * 1e-12) / 1e9;
+        per_vault * self.hmc.vaults_per_hmc as f64 * self.hmc.num_hmcs as f64
+    }
+
+    /// Aggregate GPU off-chip bandwidth per direction, GB/s.
+    pub fn gpu_offchip_gbps(&self) -> f64 {
+        self.gpu.num_links as f64 * self.gpu.link_gbps
+    }
+
+    /// SM-side NDP buffer storage in bytes (§7.5: pending 8 B × 300 +
+    /// ready 8 B × 64 ≈ 2.84 KB per SM).
+    pub fn sm_ndp_buffer_bytes(&self) -> usize {
+        8 * self.nsu.sm_pending_entries + 8 * self.nsu.sm_ready_entries
+    }
+
+    /// Existing per-SM on-chip storage (L1I + L1D + scratchpad) plus the L2
+    /// share, used for the §7.5 overhead ratio.
+    pub fn sm_onchip_storage_bytes(&self) -> usize {
+        let scratchpad = 48 * 1024;
+        let per_sm = self.gpu.l1i_bytes + self.gpu.l1d_bytes + scratchpad;
+        per_sm + self.gpu.l2_bytes / self.gpu.num_sms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_defaults() {
+        let c = SystemConfig::default();
+        assert_eq!(c.gpu.num_sms, 64);
+        assert_eq!(c.gpu.warps_per_sm * c.gpu.warp_width, 1536);
+        assert_eq!(c.hmc.num_hmcs, 8);
+        assert_eq!(c.hmc.vaults_per_hmc, 16);
+        assert_eq!(c.hmc.banks_per_vault, 16);
+        assert_eq!(c.hmc.vault_queue, 64);
+        assert_eq!(c.nsu.clock_mhz, 350);
+        assert_eq!(c.nsu.warp_slots, 48);
+        assert_eq!(c.nsu.cmd_entries, 10);
+        assert_eq!(c.page_bytes, 4096);
+    }
+
+    #[test]
+    fn derived_bandwidths() {
+        let c = SystemConfig::default();
+        // 20 GB/s at 700 MHz ≈ 28.6 B/cycle.
+        let bpc = c.bytes_per_cycle(c.gpu.link_gbps);
+        assert!((bpc - 28.57).abs() < 0.05, "bpc = {bpc}");
+        // GPU off-chip: 8 × 20 = 160 GB/s per direction.
+        assert!((c.gpu_offchip_gbps() - 160.0).abs() < 1e-9);
+        // Aggregate DRAM must exceed GPU off-chip by a wide margin; with
+        // 32 B per tCCD=4 × 1.5 ns we get ≈ 5.33 GB/s per vault → ≈ 683 GB/s.
+        let dram = c.aggregate_dram_gbps();
+        assert!(dram > 4.0 * c.gpu_offchip_gbps(), "dram = {dram}");
+    }
+
+    #[test]
+    fn nsu_divider_matches_clock() {
+        let mut c = SystemConfig::default();
+        assert_eq!(c.nsu_divider(), 2);
+        c.nsu.clock_mhz = 175;
+        assert_eq!(c.nsu_divider(), 4);
+    }
+
+    #[test]
+    fn overhead_matches_paper_7_5() {
+        let c = SystemConfig::default();
+        // 2.84 KB per SM (8 B × 300 + 8 B × 64 = 2912 B ≈ 2.84 KB).
+        assert_eq!(c.sm_ndp_buffer_bytes(), 2912);
+        let ratio = c.sm_ndp_buffer_bytes() as f64 / c.sm_onchip_storage_bytes() as f64;
+        // Paper reports 1.8% of total on-chip storage.
+        assert!(ratio > 0.01 && ratio < 0.04, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn presets_differ_only_where_expected() {
+        let more = SystemConfig::baseline_more_core();
+        assert_eq!(more.gpu.num_sms, 72);
+        assert_eq!(more.offload, OffloadPolicy::Never);
+        assert_eq!(SystemConfig::naive_ndp().offload, OffloadPolicy::Always);
+        match SystemConfig::ndp_static(0.4).offload {
+            OffloadPolicy::Static(r) => assert!((r - 0.4).abs() < 1e-12),
+            other => panic!("unexpected policy {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,22 @@
+//! Shared substrate for the SC'17 "Standardized NDP for GPUs" reproduction.
+//!
+//! This crate holds everything that more than one simulator component needs:
+//! node/packet identifiers, the Table-2 system configuration, the packetized
+//! message formats of the partitioned-execution protocol (Fig. 4), a
+//! bandwidth-modelled link primitive, credit pools for the NSU buffer
+//! reservation scheme (§4.3), deterministic value/hash functions used to
+//! synthesize memory contents, and the page→HMC mapping (§5, random 4 KB
+//! page interleaving).
+
+pub mod config;
+pub mod credit;
+pub mod ids;
+pub mod link;
+pub mod memmap;
+pub mod packet;
+pub mod rng;
+pub mod stats;
+
+pub use config::SystemConfig;
+pub use ids::{Cycle, HmcId, Node, OffloadToken, SmId, VaultId};
+pub use packet::{Packet, PacketKind};

@@ -1,0 +1,169 @@
+//! Physical address mapping: page→HMC, line→vault/bank/row.
+//!
+//! The evaluation maps pages to HMCs *randomly* at 4 KB granularity (§5) —
+//! the whole point of the paper is that NDP must work with data spread
+//! arbitrarily across stacks. We implement the random page map as a keyed
+//! hash of the page number, which is O(1) in space, deterministic under the
+//! run seed, and statistically uniform. Within a stack, consecutive cache
+//! lines interleave across vaults, and banks/rows split the remaining bits —
+//! the usual HMC-style vault addressing.
+
+use crate::config::SystemConfig;
+use crate::ids::{HmcId, VaultId};
+use crate::rng::splitmix64;
+
+/// Address decomposition for the memory system.
+#[derive(Debug, Clone, Copy)]
+pub struct MemMap {
+    page_bytes: u64,
+    line_bytes: u64,
+    num_hmcs: u64,
+    vaults: u64,
+    banks: u64,
+    row_bytes: u64,
+    seed: u64,
+}
+
+/// A fully decoded DRAM coordinate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DramCoord {
+    pub hmc: HmcId,
+    pub vault: VaultId,
+    pub bank: u8,
+    pub row: u64,
+}
+
+impl MemMap {
+    pub fn new(cfg: &SystemConfig) -> Self {
+        MemMap {
+            page_bytes: cfg.page_bytes,
+            line_bytes: cfg.gpu.line_bytes as u64,
+            num_hmcs: cfg.hmc.num_hmcs as u64,
+            vaults: cfg.hmc.vaults_per_hmc as u64,
+            banks: cfg.hmc.banks_per_vault as u64,
+            row_bytes: cfg.hmc.row_bytes as u64,
+            seed: cfg.seed,
+        }
+    }
+
+    /// The stack holding `addr` (random 4 KB page interleaving).
+    #[inline]
+    pub fn hmc_of(&self, addr: u64) -> HmcId {
+        let page = addr / self.page_bytes;
+        HmcId((splitmix64(page ^ self.seed) % self.num_hmcs) as u8)
+    }
+
+    /// The vault within the stack (line-interleaved).
+    #[inline]
+    pub fn vault_of(&self, addr: u64) -> VaultId {
+        VaultId(((addr / self.line_bytes) % self.vaults) as u8)
+    }
+
+    /// Full DRAM coordinate.
+    #[inline]
+    pub fn decode(&self, addr: u64) -> DramCoord {
+        let line = addr / self.line_bytes;
+        let vault_local = line / self.vaults; // line index within the vault
+        let bank = (vault_local % self.banks) as u8;
+        let row = vault_local / self.banks * self.line_bytes / self.row_bytes.min(u64::MAX);
+        // Rows hold row_bytes/line_bytes lines of the same bank.
+        let lines_per_row = (self.row_bytes / self.line_bytes).max(1);
+        let row = row.max(vault_local / self.banks / lines_per_row);
+        DramCoord {
+            hmc: self.hmc_of(addr),
+            vault: self.vault_of(addr),
+            bank,
+            row,
+        }
+    }
+
+    /// Cache-line base address of `addr`.
+    #[inline]
+    pub fn line_of(&self, addr: u64) -> u64 {
+        addr & !(self.line_bytes - 1)
+    }
+
+    pub fn line_bytes(&self) -> u64 {
+        self.line_bytes
+    }
+
+    pub fn num_hmcs(&self) -> usize {
+        self.num_hmcs as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map() -> MemMap {
+        MemMap::new(&SystemConfig::default())
+    }
+
+    #[test]
+    fn same_page_same_hmc() {
+        let m = map();
+        let a = 0x1234_5000u64;
+        for off in [0u64, 128, 4095] {
+            assert_eq!(m.hmc_of(a + off), m.hmc_of(a));
+        }
+    }
+
+    #[test]
+    fn pages_spread_roughly_uniformly() {
+        let m = map();
+        let mut hist = [0u64; 8];
+        let n = 80_000u64;
+        for p in 0..n {
+            hist[m.hmc_of(p * 4096).0 as usize] += 1;
+        }
+        for (h, &c) in hist.iter().enumerate() {
+            let expect = n / 8;
+            assert!(
+                (c as i64 - expect as i64).unsigned_abs() < expect / 5,
+                "hmc {h}: {c}"
+            );
+        }
+    }
+
+    #[test]
+    fn consecutive_lines_interleave_vaults() {
+        let m = map();
+        assert_eq!(m.vault_of(0), VaultId(0));
+        assert_eq!(m.vault_of(128), VaultId(1));
+        assert_eq!(m.vault_of(128 * 16), VaultId(0));
+    }
+
+    #[test]
+    fn decode_is_stable_and_in_range() {
+        let m = map();
+        for i in 0..10_000u64 {
+            let addr = i * 4 + (i % 7) * 131;
+            let c = m.decode(addr);
+            assert!(c.hmc.0 < 8);
+            assert!(c.vault.0 < 16);
+            assert!(c.bank < 16);
+            assert_eq!(c, m.decode(addr));
+        }
+    }
+
+    #[test]
+    fn line_of_masks_low_bits() {
+        let m = map();
+        assert_eq!(m.line_of(0x1234), 0x1200 & !(127));
+        assert_eq!(m.line_of(0x1280), 0x1280);
+        assert_eq!(m.line_of(0x12ff), 0x1280);
+    }
+
+    #[test]
+    fn seed_changes_page_map() {
+        let mut cfg = SystemConfig::default();
+        let m1 = MemMap::new(&cfg);
+        cfg.seed ^= 0xdead_beef;
+        let m2 = MemMap::new(&cfg);
+        let differing = (0..1000u64)
+            .filter(|&p| m1.hmc_of(p * 4096) != m2.hmc_of(p * 4096))
+            .count();
+        assert!(differing > 500, "only {differing} pages moved");
+    }
+}

@@ -1,0 +1,105 @@
+//! Deterministic hashing and synthetic memory contents.
+//!
+//! The simulator is trace-free: workloads are IR kernels executed
+//! functionally, and memory *values* are synthesized by a pure function of
+//! the address (and a per-run seed). This gives bit-reproducible runs, lets
+//! indirect workloads (BFS, STCL) produce genuinely data-dependent divergent
+//! address streams, and costs no memory for multi-GB footprints.
+
+/// SplitMix64 — tiny, high-quality 64-bit mixer.
+#[inline]
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Synthetic memory contents: the word stored at `addr`.
+///
+/// Stores are timing-only in this simulator (no workload reads an address
+/// whose *value* it previously wrote within the same kernel — see DESIGN.md),
+/// so an immutable value function is sufficient, and both the GPU-side and
+/// NSU-side functional executors observe identical data.
+#[inline]
+pub fn mem_value(seed: u64, addr: u64) -> u64 {
+    splitmix64(addr ^ seed.rotate_left(17))
+}
+
+/// A value in `0..bound` derived from memory contents — used by workloads to
+/// turn loaded words into array indices (e.g. `B[A[i]]`).
+#[inline]
+pub fn bounded(value: u64, bound: u64) -> u64 {
+    debug_assert!(bound > 0);
+    // Multiply-shift range reduction (unbiased enough for simulation).
+    ((value as u128 * bound as u128) >> 64) as u64
+}
+
+/// A tiny counter-based RNG for decision sampling (static offload ratio).
+/// Unlike `SmallRng` it is `Copy` and needs no state mutation discipline:
+/// sample `i` of stream `s` is pure.
+#[inline]
+pub fn unit_sample(seed: u64, stream: u64, index: u64) -> f64 {
+    let bits = splitmix64(seed ^ stream.wrapping_mul(0xA24B_AED4_963E_E407) ^ index);
+    // 53 high bits → [0, 1).
+    (bits >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic_and_mixing() {
+        assert_eq!(splitmix64(1), splitmix64(1));
+        assert_ne!(splitmix64(1), splitmix64(2));
+        // Avalanche sanity: flipping one input bit flips ~half the output.
+        let d = (splitmix64(0x1234) ^ splitmix64(0x1235)).count_ones();
+        assert!((16..=48).contains(&d), "poor avalanche: {d}");
+    }
+
+    #[test]
+    fn mem_value_differs_by_seed_and_addr() {
+        assert_eq!(mem_value(7, 0x100), mem_value(7, 0x100));
+        assert_ne!(mem_value(7, 0x100), mem_value(8, 0x100));
+        assert_ne!(mem_value(7, 0x100), mem_value(7, 0x104));
+    }
+
+    #[test]
+    fn bounded_respects_bound() {
+        for i in 0..1000u64 {
+            let v = bounded(splitmix64(i), 37);
+            assert!(v < 37);
+        }
+    }
+
+    #[test]
+    fn bounded_is_roughly_uniform() {
+        let n = 100_000u64;
+        let buckets = 10u64;
+        let mut hist = [0u64; 10];
+        for i in 0..n {
+            hist[bounded(splitmix64(i), buckets) as usize] += 1;
+        }
+        let expect = n / buckets;
+        for (b, &h) in hist.iter().enumerate() {
+            assert!(
+                (h as i64 - expect as i64).unsigned_abs() < expect / 5,
+                "bucket {b}: {h} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn unit_sample_in_range_and_stream_independent() {
+        let mut acc = 0.0;
+        for i in 0..10_000 {
+            let u = unit_sample(42, 3, i);
+            assert!((0.0..1.0).contains(&u));
+            acc += u;
+        }
+        let mean = acc / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean = {mean}");
+        assert_ne!(unit_sample(42, 1, 5), unit_sample(42, 2, 5));
+    }
+}

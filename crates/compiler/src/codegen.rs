@@ -1,0 +1,89 @@
+//! NSU code generation (§3.2, Fig. 3(b)).
+//!
+//! Translation is the one-to-one mapping the paper describes: loads become
+//! read-data-buffer pops, stores become buffer-addressed writes, `@NSU` ALU
+//! ops are copied, and GPU-side address-calculation ALU ops are removed.
+
+use ndp_isa::instr::Instr;
+use ndp_isa::offload::{InstrRole, NsuInstr};
+use ndp_isa::program::{Item, Program};
+
+/// Base physical address of the NSU code region; blocks are laid out
+/// contiguously from here (§4.1.1 assumes physically contiguous NSU code).
+pub const NSU_CODE_BASE: u64 = 0xD00;
+
+/// Bytes per NSU instruction.
+pub const NSU_INSTR_BYTES: u64 = 8;
+
+/// Generate the NSU instruction stream for a block range with known roles.
+pub fn generate_nsu_code(
+    program: &Program,
+    start: usize,
+    end: usize,
+    roles: &[InstrRole],
+    regs_in: u8,
+    regs_out: u8,
+) -> Vec<NsuInstr> {
+    let mut code = vec![NsuInstr::Begin { regs_in }];
+    for idx in start..end {
+        let Item::Op(i) = &program.items[idx] else {
+            panic!("offload block contains non-Op item at {idx}");
+        };
+        match roles[idx - start] {
+            InstrRole::AddrCalc => {} // removed during translation
+            InstrRole::Load => code.push(NsuInstr::Ld {
+                dst: i.dst().expect("load has dst"),
+            }),
+            InstrRole::Store => {
+                let Instr::St { val, .. } = i else {
+                    unreachable!()
+                };
+                code.push(NsuInstr::St { src: *val });
+            }
+            InstrRole::AtNsu => code.push(NsuInstr::Alu(i.clone())),
+        }
+    }
+    code.push(NsuInstr::End { regs_out });
+    code
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ndp_isa::instr::{AluOp, Operand, Reg};
+    use ndp_isa::program::Item;
+
+    #[test]
+    fn addr_calc_removed_others_translated() {
+        let mut p = Program::new("t", 1);
+        p.items = vec![
+            Item::Op(Instr::ld(Reg(1), Reg(9))),
+            Item::Op(Instr::alu(
+                AluOp::FMul,
+                Reg(2),
+                Operand::Reg(Reg(0)),
+                Operand::Reg(Reg(1)),
+            )),
+            Item::Op(Instr::alu(
+                AluOp::IAdd,
+                Reg(10),
+                Operand::Reg(Reg(3)),
+                Operand::Reg(Reg(7)),
+            )),
+            Item::Op(Instr::st(Reg(2), Reg(10))),
+        ];
+        let roles = [
+            InstrRole::Load,
+            InstrRole::AtNsu,
+            InstrRole::AddrCalc,
+            InstrRole::Store,
+        ];
+        let code = generate_nsu_code(&p, 0, 4, &roles, 1, 1);
+        assert_eq!(code.len(), 5, "BEG + LD + MUL + ST + END");
+        assert!(matches!(code[0], NsuInstr::Begin { regs_in: 1 }));
+        assert!(matches!(code[1], NsuInstr::Ld { dst: Reg(1) }));
+        assert!(matches!(code[2], NsuInstr::Alu(_)));
+        assert!(matches!(code[3], NsuInstr::St { src: Reg(2) }));
+        assert!(matches!(code[4], NsuInstr::End { regs_out: 1 }));
+    }
+}

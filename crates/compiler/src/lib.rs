@@ -1,0 +1,17 @@
+//! Static offload-block compiler (§3 of the paper).
+//!
+//! Mirrors the compile-time flow the paper assumes: analyze the kernel's
+//! assembly-level IR, extract *offload blocks* that score positively under
+//! Eq. 1 (`Score = GPUTrafficReduction − OffloadOverhead`), add every single
+//! indirect load as its own block (§4.4), classify each instruction into its
+//! partitioned-execution role (address calculation on the GPU vs. `@NSU`
+//! computation), compute the live-in/live-out register transfer sets, and
+//! generate the NSU code of Fig. 3(b).
+
+pub mod analyze;
+pub mod codegen;
+pub mod report;
+pub mod slice;
+
+pub use analyze::{compile, CompiledKernel, CompilerConfig};
+pub use report::{table1_row, Table1Row};

@@ -1,0 +1,70 @@
+//! Table 1 report: per-workload offload-block summary.
+
+use crate::analyze::CompiledKernel;
+
+/// One row of Table 1.
+#[derive(Debug, Clone)]
+pub struct Table1Row {
+    pub workload: &'static str,
+    pub description: &'static str,
+    /// NSU instruction count of each offload block (address-calculation ALU
+    /// ops removed) — the "# of instructions in offload blocks" column.
+    pub block_sizes: Vec<usize>,
+    /// Average registers transferred GPU→NSU per thread.
+    pub avg_regs_in: f64,
+    /// Average registers transferred NSU→GPU per thread.
+    pub avg_regs_out: f64,
+}
+
+/// Build a Table 1 row from a compiled kernel.
+pub fn table1_row(
+    workload: &'static str,
+    description: &'static str,
+    ck: &CompiledKernel,
+) -> Table1Row {
+    let n = ck.blocks.len().max(1) as f64;
+    Table1Row {
+        workload,
+        description,
+        block_sizes: ck.nsu_lens(),
+        avg_regs_in: ck.blocks.iter().map(|b| b.live_in.len()).sum::<usize>() as f64 / n,
+        avg_regs_out: ck.blocks.iter().map(|b| b.live_out.len()).sum::<usize>() as f64 / n,
+    }
+}
+
+impl Table1Row {
+    /// The "16,4"-style block-size list of Table 1.
+    pub fn sizes_string(&self) -> String {
+        self.block_sizes
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze::{compile, CompilerConfig};
+    use ndp_isa::instr::{AluOp, Instr, Operand, Reg};
+    use ndp_isa::program::{Item, Program};
+
+    #[test]
+    fn row_renders_sizes() {
+        let mut p = Program::new("t", 1);
+        let t = |r| Operand::Reg(Reg(r));
+        p.items = vec![
+            Item::Op(Instr::alu(AluOp::IMul, Reg(1), Operand::Tid, Operand::Imm(4))),
+            Item::Op(Instr::alu(AluOp::IAdd, Reg(2), t(1), Operand::Imm(0x1000))),
+            Item::Op(Instr::ld(Reg(3), Reg(2))),
+            Item::Op(Instr::alu(AluOp::FAdd, Reg(4), t(3), t(3))),
+            Item::Op(Instr::alu(AluOp::IAdd, Reg(5), t(1), Operand::Imm(0x2000))),
+            Item::Op(Instr::st(Reg(4), Reg(5))),
+        ];
+        let ck = compile(&p, &CompilerConfig::default());
+        let row = table1_row("T", "test", &ck);
+        assert_eq!(row.sizes_string(), "3");
+        assert_eq!(row.avg_regs_in, 0.0);
+    }
+}

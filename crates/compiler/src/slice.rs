@@ -1,0 +1,443 @@
+//! Dataflow analyses over an instruction range: address-slice role
+//! classification and live-in/live-out register sets.
+
+use ndp_isa::instr::Instr;
+use ndp_isa::offload::InstrRole;
+use ndp_isa::program::{Item, Program};
+use ndp_isa::Reg;
+
+/// Compact register set (≤64 registers).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RegSet(pub u64);
+
+impl RegSet {
+    pub fn insert(&mut self, r: Reg) {
+        self.0 |= 1 << r.0;
+    }
+
+    pub fn remove(&mut self, r: Reg) {
+        self.0 &= !(1 << r.0);
+    }
+
+    pub fn contains(&self, r: Reg) -> bool {
+        self.0 & (1 << r.0) != 0
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.0 == 0
+    }
+
+    pub fn len(&self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = Reg> + '_ {
+        (0..64u8).filter(|&r| self.contains(Reg(r))).map(Reg)
+    }
+}
+
+/// Fetch the instruction at item index `idx` (panics on non-Op items —
+/// callers operate on basic-block ranges).
+fn instr_at(program: &Program, idx: usize) -> &Instr {
+    match &program.items[idx] {
+        Item::Op(i) => i,
+        other => panic!("expected Op at {idx}, found {other:?}"),
+    }
+}
+
+/// Classify every instruction in `[start, end)` into its partitioned
+/// execution role (§4.1.1).
+///
+/// Backward walk maintaining two demand sets: registers needed *as memory
+/// addresses* and registers needed *as data values*. An ALU op whose result
+/// is demanded only as an address is `AddrCalc` (GPU-side, removed from NSU
+/// code); one demanded as a value is `@NSU`. A result demanded as **both**
+/// executes on the GPU (addresses must be generated there) and its value is
+/// added to the live-in transfer set by the caller.
+pub fn classify_roles(program: &Program, start: usize, end: usize) -> Vec<InstrRole> {
+    let mut roles = vec![InstrRole::AtNsu; end - start];
+    let mut addr_needed = RegSet::default();
+    let mut value_needed = RegSet::default();
+
+    for idx in (start..end).rev() {
+        let i = instr_at(program, idx);
+        match i {
+            Instr::Ld { dst, addr, .. } => {
+                roles[idx - start] = InstrRole::Load;
+                addr_needed.remove(*dst);
+                value_needed.remove(*dst);
+                addr_needed.insert(*addr);
+            }
+            Instr::St { val, addr, .. } => {
+                roles[idx - start] = InstrRole::Store;
+                value_needed.insert(*val);
+                addr_needed.insert(*addr);
+            }
+            Instr::Alu { dst, .. } => {
+                let as_addr = addr_needed.contains(*dst);
+                let as_value = value_needed.contains(*dst);
+                // A dead def (neither demanded) may still be live-out of the
+                // block; treat it as NSU-side computation so the value comes
+                // back in the ACK packet.
+                let role = if as_addr {
+                    InstrRole::AddrCalc
+                } else {
+                    InstrRole::AtNsu
+                };
+                roles[idx - start] = role;
+                addr_needed.remove(*dst);
+                value_needed.remove(*dst);
+                let demand = match role {
+                    InstrRole::AddrCalc => &mut addr_needed,
+                    _ => &mut value_needed,
+                };
+                for s in i.srcs() {
+                    demand.insert(s);
+                }
+                // A dual-use def also propagates value demand to its
+                // sources so the NSU-side consumers still get their inputs
+                // via live-in transfer (handled by `live_sets`).
+                if as_addr && as_value {
+                    for s in i.srcs() {
+                        value_needed.insert(s);
+                    }
+                }
+            }
+        }
+    }
+    roles
+}
+
+/// Compute the live-in (GPU→NSU) and live-out (NSU→GPU) register transfer
+/// sets for a block with the given roles.
+///
+/// Live-in: registers read by NSU-side work (`@NSU` ALU sources, store data
+/// sources) that are not produced by earlier NSU-side work in the block.
+/// A register produced by GPU-side `AddrCalc` but consumed by NSU-side work
+/// counts as live-in (the GPU must transfer the computed value).
+///
+/// Live-out: registers defined by NSU-side work (loads, `@NSU` ALU) that are
+/// used outside the block — after it, or, when the block sits inside a loop,
+/// on the next trip (any use in the enclosing loop before the block).
+pub fn live_sets(
+    program: &Program,
+    start: usize,
+    end: usize,
+    roles: &[InstrRole],
+) -> (RegSet, RegSet) {
+    let mut nsu_defined = RegSet::default();
+    let mut live_in = RegSet::default();
+
+    for idx in start..end {
+        let i = instr_at(program, idx);
+        match roles[idx - start] {
+            InstrRole::Load => {
+                nsu_defined.insert(i.dst().expect("load has dst"));
+            }
+            InstrRole::Store => {
+                for s in i.value_srcs() {
+                    if !nsu_defined.contains(s) {
+                        live_in.insert(s);
+                    }
+                }
+            }
+            InstrRole::AtNsu => {
+                for s in i.srcs() {
+                    if !nsu_defined.contains(s) {
+                        live_in.insert(s);
+                    }
+                }
+                if let Some(d) = i.dst() {
+                    nsu_defined.insert(d);
+                }
+            }
+            InstrRole::AddrCalc => {
+                // GPU-side; defines nothing on the NSU. If a later NSU-side
+                // instruction reads its dst, the live-in rule above fires
+                // (dst is not in nsu_defined).
+            }
+        }
+    }
+
+    // Live-out: NSU-defined registers used outside the block.
+    let outside = outside_use_ranges(program, start, end);
+    let mut live_out = RegSet::default();
+    for d in nsu_defined.iter() {
+        'ranges: for &(s, e) in &outside {
+            for idx in s..e {
+                if let Item::Op(i) = &program.items[idx] {
+                    if i.srcs().contains(&d) {
+                        live_out.insert(d);
+                        break 'ranges;
+                    }
+                    if i.dst() == Some(d) {
+                        // Redefined before any use on this path.
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    (live_in, live_out)
+}
+
+/// Item-index ranges where uses make a block def live-out: everything after
+/// the block, plus — if the block is inside loops — the segment from each
+/// enclosing loop's begin to the block start (next-trip uses).
+fn outside_use_ranges(program: &Program, start: usize, end: usize) -> Vec<(usize, usize)> {
+    let mut ranges = vec![(end, program.items.len())];
+    // Find enclosing loops of [start, end).
+    let mut stack = vec![];
+    for (i, item) in program.items.iter().enumerate() {
+        match item {
+            Item::LoopBegin(_) => stack.push(i),
+            Item::LoopEnd => {
+                let b = stack.pop().expect("validated");
+                if b < start && i >= end {
+                    ranges.push((b + 1, start));
+                }
+            }
+            _ => {}
+        }
+    }
+    ranges
+}
+
+/// True when the range `[start, end)` contains a memory instruction whose
+/// address depends (transitively) on a load **inside the range**.
+///
+/// Partitioned execution cannot offload such a range: the GPU generates all
+/// addresses, but the feeding data only materializes on the NSU (§4.1.1).
+/// The analyzer rejects candidate ranges with this dependence; the inner
+/// load can still be offloaded alone under the §4.4 indirect rule.
+pub fn has_load_to_addr_dep(program: &Program, start: usize, end: usize) -> bool {
+    let mut tainted = RegSet::default();
+    for idx in start..end {
+        let i = instr_at(program, idx);
+        if let Some(addr) = i.addr_reg() {
+            if tainted.contains(addr) {
+                return true;
+            }
+        }
+        match i {
+            Instr::Ld { dst, .. } => tainted.insert(*dst),
+            Instr::Alu { dst, .. } => {
+                if i.srcs().iter().any(|s| tainted.contains(*s)) {
+                    tainted.insert(*dst);
+                } else {
+                    tainted.remove(*dst);
+                }
+            }
+            Instr::St { .. } => {}
+        }
+    }
+    false
+}
+
+/// True when the load at `idx` is an *indirect* load: its address slice
+/// (within the same basic block) contains the result of another global load
+/// (§4.4, the `x = B[A[i]]` pattern).
+pub fn is_indirect_load(program: &Program, bb_start: usize, idx: usize) -> bool {
+    let i = instr_at(program, idx);
+    let Instr::Ld { addr, .. } = i else {
+        return false;
+    };
+    let mut demand = RegSet::default();
+    demand.insert(*addr);
+    for j in (bb_start..idx).rev() {
+        let pi = instr_at(program, j);
+        let Some(d) = pi.dst() else { continue };
+        if demand.contains(d) {
+            if pi.is_global_mem() {
+                return true;
+            }
+            demand.remove(d);
+            for s in pi.srcs() {
+                demand.insert(s);
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ndp_isa::instr::{AluOp, Operand};
+    use ndp_isa::program::Item;
+
+    fn prog(items: Vec<Item>) -> Program {
+        let mut p = Program::new("t", 1);
+        p.items = items;
+        p
+    }
+
+    /// The Fig. 3(a) example:
+    ///   LD F1, [R9]        — load
+    ///   MUL F2, F0, F1     — @NSU
+    ///   ADD R10, R1, R7    — address calc
+    ///   ST [R10], F2       — store
+    #[test]
+    fn fig3_classification() {
+        let p = prog(vec![
+            Item::Op(Instr::ld(Reg(1), Reg(9))),
+            Item::Op(Instr::alu(
+                AluOp::FMul,
+                Reg(2),
+                Operand::Reg(Reg(0)),
+                Operand::Reg(Reg(1)),
+            )),
+            Item::Op(Instr::alu(
+                AluOp::IAdd,
+                Reg(10),
+                Operand::Reg(Reg(11)),
+                Operand::Reg(Reg(7)),
+            )),
+            Item::Op(Instr::st(Reg(2), Reg(10))),
+        ]);
+        let roles = classify_roles(&p, 0, 4);
+        assert_eq!(
+            roles,
+            vec![
+                InstrRole::Load,
+                InstrRole::AtNsu,
+                InstrRole::AddrCalc,
+                InstrRole::Store
+            ]
+        );
+        let (live_in, live_out) = live_sets(&p, 0, 4, &roles);
+        // F0 (= R0) comes from the GPU, like "SendF0" in Fig. 3(a).
+        assert!(live_in.contains(Reg(0)));
+        assert!(!live_in.contains(Reg(1)), "loaded on the NSU");
+        assert!(!live_in.contains(Reg(11)), "address operand stays on GPU");
+        // F2 unused afterwards in this toy program.
+        assert!(live_out.is_empty());
+    }
+
+    #[test]
+    fn address_chain_is_gpu_side() {
+        // tid*4+base feeding a load: every ALU in the chain is AddrCalc.
+        let p = prog(vec![
+            Item::Op(Instr::alu(
+                AluOp::IMul,
+                Reg(1),
+                Operand::Tid,
+                Operand::Imm(4),
+            )),
+            Item::Op(Instr::alu(
+                AluOp::IAdd,
+                Reg(2),
+                Operand::Reg(Reg(1)),
+                Operand::Imm(0x1000),
+            )),
+            Item::Op(Instr::ld(Reg(3), Reg(2))),
+        ]);
+        let roles = classify_roles(&p, 0, 3);
+        assert_eq!(
+            roles,
+            vec![InstrRole::AddrCalc, InstrRole::AddrCalc, InstrRole::Load]
+        );
+    }
+
+    #[test]
+    fn dual_use_value_becomes_live_in() {
+        // R1 feeds both an address and NSU-side arithmetic.
+        let p = prog(vec![
+            Item::Op(Instr::alu(
+                AluOp::IMul,
+                Reg(1),
+                Operand::Tid,
+                Operand::Imm(4),
+            )),
+            Item::Op(Instr::ld(Reg(2), Reg(1))),
+            Item::Op(Instr::alu(
+                AluOp::IAdd,
+                Reg(3),
+                Operand::Reg(Reg(2)),
+                Operand::Reg(Reg(1)),
+            )),
+            Item::Op(Instr::st(Reg(3), Reg(1))),
+        ]);
+        let roles = classify_roles(&p, 0, 4);
+        assert_eq!(roles[0], InstrRole::AddrCalc, "address demand dominates");
+        let (live_in, _) = live_sets(&p, 0, 4, &roles);
+        assert!(
+            live_in.contains(Reg(1)),
+            "dual-use value must transfer to the NSU"
+        );
+    }
+
+    #[test]
+    fn live_out_detected_after_block() {
+        let p = prog(vec![
+            Item::Op(Instr::mov(Reg(9), Operand::Imm(0x100))),
+            Item::Op(Instr::ld(Reg(1), Reg(9))),
+            Item::Op(Instr::alu(
+                AluOp::IAdd,
+                Reg(2),
+                Operand::Reg(Reg(1)),
+                Operand::Imm(1),
+            )),
+            // use of R2 after the block:
+            Item::Op(Instr::st(Reg(2), Reg(9))),
+        ]);
+        let roles = classify_roles(&p, 1, 3);
+        let (_, live_out) = live_sets(&p, 1, 3, &roles);
+        assert!(live_out.contains(Reg(2)));
+        assert!(!live_out.contains(Reg(1)), "R1 not used outside");
+    }
+
+    #[test]
+    fn live_out_through_loop_backedge() {
+        // Accumulator defined in the block, consumed by the next trip.
+        let p = prog(vec![
+            Item::Op(Instr::mov(Reg(0), Operand::Imm(0))),
+            Item::Op(Instr::mov(Reg(9), Operand::Imm(0x40))),
+            Item::LoopBegin(ndp_isa::TripCount::Const(4)),
+            Item::Op(Instr::ld(Reg(1), Reg(9))),
+            Item::Op(Instr::alu(
+                AluOp::FAdd,
+                Reg(0),
+                Operand::Reg(Reg(0)),
+                Operand::Reg(Reg(1)),
+            )),
+            Item::LoopEnd,
+            Item::Op(Instr::st(Reg(0), Reg(9))),
+        ]);
+        let roles = classify_roles(&p, 3, 5);
+        let (live_in, live_out) = live_sets(&p, 3, 5, &roles);
+        assert!(live_in.contains(Reg(0)), "accumulator carried in");
+        assert!(live_out.contains(Reg(0)), "accumulator carried out");
+    }
+
+    #[test]
+    fn indirect_load_detection() {
+        // B[A[i]]: LD idx; idx*4+base; LD data.
+        let p = prog(vec![
+            Item::Op(Instr::mov(Reg(1), Operand::Imm(0x1000))),
+            Item::Op(Instr::ld(Reg(2), Reg(1))),
+            Item::Op(Instr::alu3(
+                AluOp::IMad,
+                Reg(3),
+                Operand::Reg(Reg(2)),
+                Operand::Imm(4),
+                Operand::Imm(0x8000),
+            )),
+            Item::Op(Instr::ld(Reg(4), Reg(3))),
+        ]);
+        assert!(!is_indirect_load(&p, 0, 1), "first load is direct");
+        assert!(is_indirect_load(&p, 0, 3), "second load is indirect");
+    }
+
+    #[test]
+    fn regset_basics() {
+        let mut s = RegSet::default();
+        assert!(s.is_empty());
+        s.insert(Reg(0));
+        s.insert(Reg(63));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![Reg(0), Reg(63)]);
+        s.remove(Reg(0));
+        assert!(!s.contains(Reg(0)) && s.contains(Reg(63)));
+    }
+}

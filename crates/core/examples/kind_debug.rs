@@ -1,0 +1,21 @@
+//! Diagnostic: per-packet-kind GPU-link traffic for one workload/config.
+use ndp_common::config::SystemConfig;
+use ndp_common::packet::Packet;
+use ndp_core::System;
+use ndp_workloads::{workload, Scale};
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or("KMN".into());
+    let w = workload(&name).expect("workload name");
+    let mut cfg: SystemConfig = SystemConfig::naive_ndp();
+    cfg.gpu.num_sms = 8;
+    let p = w.build(&Scale { warps: 128, iters: 8 });
+    let sys = System::new(cfg, &p);
+    let r = sys.run_with_kind_stats(30_000_000);
+    println!("cycles {} link bytes {}", r.0.cycles, r.0.gpu_link_bytes);
+    for (i, n) in Packet::KIND_NAMES.iter().enumerate() {
+        if r.1[i] > 0 {
+            println!("  {:12} {:>10} B", n, r.1[i]);
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! Fig. 5 — impact of the target-NSU selection policy on off-chip memory
+//! traffic.
+//!
+//! Monte-Carlo model matching §4.1.1: an offload block performs `n` memory
+//! accesses mapped uniformly at random over 8 HMCs. Moving one access's
+//! data to the target NSU costs 0 if it lives in the target stack, 1 unit
+//! otherwise (it crosses the memory network once). Policies:
+//!   * *first*: the stack of the first access becomes the target;
+//!   * *optimal*: the stack holding the most accesses becomes the target.
+//! The figure plots traffic normalized to `n` (every access remote).
+
+use ndp_common::rng::{bounded, splitmix64};
+
+/// Traffic (in cross-stack transfers) for both policies on one random block
+/// instance of `n` accesses over `hmcs` stacks.
+fn one_instance(seed: u64, n: usize, hmcs: usize) -> (u64, u64) {
+    let mut counts = vec![0u64; hmcs];
+    let mut first = 0usize;
+    for i in 0..n {
+        let h = bounded(splitmix64(seed ^ (i as u64) << 32), hmcs as u64) as usize;
+        if i == 0 {
+            first = h;
+        }
+        counts[h] += 1;
+    }
+    let total = n as u64;
+    let best = *counts.iter().max().expect("nonempty");
+    let first_traffic = total - counts[first];
+    let optimal_traffic = total - best;
+    (first_traffic, optimal_traffic)
+}
+
+/// One point of Fig. 5: mean normalized traffic for both policies at a
+/// given access count.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig5Point {
+    pub accesses: usize,
+    /// Normalized traffic, first-HMC policy.
+    pub first: f64,
+    /// Normalized traffic, optimal policy.
+    pub optimal: f64,
+}
+
+impl Fig5Point {
+    /// Relative traffic increase of the cheap policy over optimal.
+    pub fn overhead(&self) -> f64 {
+        if self.optimal == 0.0 {
+            0.0
+        } else {
+            self.first / self.optimal - 1.0
+        }
+    }
+}
+
+/// Sweep the number of memory accesses per block (the x-axis of Fig. 5).
+pub fn sweep(hmcs: usize, max_accesses: usize, trials: u64, seed: u64) -> Vec<Fig5Point> {
+    (1..=max_accesses)
+        .map(|n| {
+            let mut f = 0u64;
+            let mut o = 0u64;
+            for t in 0..trials {
+                let s = splitmix64(seed ^ t.wrapping_mul(0x9E37_79B9));
+                let (ft, ot) = one_instance(s ^ n as u64, n, hmcs);
+                f += ft;
+                o += ot;
+            }
+            let norm = (trials * n as u64) as f64;
+            Fig5Point {
+                accesses: n,
+                first: f as f64 / norm,
+                optimal: o as f64 / norm,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_access_is_always_local() {
+        let pts = sweep(8, 1, 2000, 7);
+        assert_eq!(pts[0].first, 0.0);
+        assert_eq!(pts[0].optimal, 0.0);
+    }
+
+    #[test]
+    fn first_policy_never_beats_optimal() {
+        for p in sweep(8, 40, 500, 11) {
+            assert!(
+                p.first >= p.optimal - 1e-12,
+                "n={}: first {} < optimal {}",
+                p.accesses,
+                p.first,
+                p.optimal
+            );
+        }
+    }
+
+    #[test]
+    fn overhead_is_bounded_and_shrinks() {
+        // Paper: choosing the first HMC costs at most ~15% extra traffic,
+        // and the gap diminishes with more accesses.
+        let pts = sweep(8, 64, 2000, 13);
+        let worst = pts
+            .iter()
+            .skip(4) // tiny n has degenerate ratios
+            .map(|p| p.overhead())
+            .fold(0.0f64, f64::max);
+        assert!(worst < 0.25, "worst overhead {worst}");
+        let early = pts[7].overhead();
+        let late = pts[60].overhead();
+        assert!(late < early, "gap must diminish: {early} → {late}");
+        assert!(late < 0.10, "large-n overhead {late}");
+    }
+
+    #[test]
+    fn traffic_approaches_seven_eighths() {
+        // With 8 stacks and many accesses, ~7/8 of data is remote.
+        let pts = sweep(8, 64, 2000, 17);
+        let p = pts[63];
+        assert!((p.first - 0.875).abs() < 0.02, "first = {}", p.first);
+    }
+}

@@ -1,0 +1,94 @@
+//! Simulation results: everything the figure drivers need.
+
+use ndp_common::stats::{CacheStats, DramStats, IssueStats};
+use ndp_energy::{Activity, EnergyBreakdown, EnergyParams};
+
+/// Aggregated outcome of one simulation run.
+#[derive(Debug, Clone, Default)]
+pub struct RunResult {
+    pub workload: String,
+    pub config: String,
+    /// Total SM cycles simulated.
+    pub cycles: u64,
+    /// True if the run hit the safety cycle cap instead of draining.
+    pub timed_out: bool,
+    pub issue: IssueStats,
+    pub l1: CacheStats,
+    pub l2: CacheStats,
+    pub dram: DramStats,
+    /// GPU↔HMC link traffic (both directions).
+    pub gpu_link_bytes: u64,
+    /// NDP-protocol bytes on the GPU links.
+    pub gpu_link_ndp_bytes: u64,
+    /// Cache-invalidation bytes on the GPU links (§4.2 overhead).
+    pub inval_bytes: u64,
+    /// Memory-network traffic.
+    pub memnet_bytes: u64,
+    /// Logic-layer crossbar traffic.
+    pub intra_hmc_bytes: u64,
+    /// GPU on-die interconnect traffic.
+    pub ondie_bytes: u64,
+    /// Warp instructions executed on NSUs.
+    pub nsu_instrs: u64,
+    /// Block instances offered / offloaded.
+    pub offered: u64,
+    pub offloaded: u64,
+    /// Average NSU warp occupancy in `[0,1]` (Fig. 11).
+    pub nsu_occupancy: f64,
+    /// NSU I-cache utilization in `[0,1]` (Fig. 11).
+    pub nsu_icache_util: f64,
+    /// Peak per-SM pending/ready buffer use (§7.5).
+    pub sm_buffer_peaks: (usize, usize),
+    /// Pieces for the energy model.
+    pub activity: Activity,
+}
+
+impl RunResult {
+    /// Speedup of this run relative to a baseline run.
+    pub fn speedup_over(&self, baseline: &RunResult) -> f64 {
+        baseline.cycles as f64 / self.cycles as f64
+    }
+
+    /// Invalidation traffic as a fraction of total GPU-link traffic (§4.2).
+    pub fn inval_fraction(&self) -> f64 {
+        if self.gpu_link_bytes == 0 {
+            0.0
+        } else {
+            self.inval_bytes as f64 / self.gpu_link_bytes as f64
+        }
+    }
+
+    /// Energy under the given parameters.
+    pub fn energy(&self, params: &EnergyParams) -> EnergyBreakdown {
+        ndp_energy::energy(params, &self.activity)
+    }
+
+    /// Effective offload ratio achieved.
+    pub fn offload_fraction(&self) -> f64 {
+        if self.offered == 0 {
+            0.0
+        } else {
+            self.offloaded as f64 / self.offered as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_metrics() {
+        let mut a = RunResult::default();
+        a.cycles = 200;
+        let mut b = RunResult::default();
+        b.cycles = 100;
+        assert_eq!(b.speedup_over(&a), 2.0);
+        b.gpu_link_bytes = 1000;
+        b.inval_bytes = 4;
+        assert!((b.inval_fraction() - 0.004).abs() < 1e-12);
+        b.offered = 10;
+        b.offloaded = 4;
+        assert!((b.offload_fraction() - 0.4).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,469 @@
+//! Full-system wiring and the main simulation loop.
+
+use std::sync::Arc;
+
+use ndp_common::config::{OffloadPolicy, SystemConfig};
+use ndp_common::ids::{Cycle, HmcId, Node};
+use ndp_common::link::Link;
+use ndp_compiler::{compile, CompiledKernel, CompilerConfig};
+use ndp_energy::Activity;
+use ndp_gpu::sm::{Sm, SmConfig};
+use ndp_gpu::uncore::L2Slice;
+use ndp_hmc::HmcStack;
+use ndp_isa::program::Program;
+use ndp_memnet::MemNetwork;
+use ndp_nsu::Nsu;
+
+use crate::offload::OffloadController;
+use crate::result::RunResult;
+use crate::trace::{TraceSite, Tracer};
+
+/// The simulated machine.
+pub struct System {
+    pub cfg: SystemConfig,
+    pub kernel: Arc<CompiledKernel>,
+    sms: Vec<Sm>,
+    slices: Vec<L2Slice>,
+    /// GPU→HMC links (up) and HMC→GPU links (down), one pair per stack.
+    up: Vec<Link>,
+    down: Vec<Link>,
+    stacks: Vec<HmcStack>,
+    net: MemNetwork,
+    nsus: Vec<Nsu>,
+    pub ctrl: OffloadController,
+    /// Optional packet tracer (Fig. 2 walkthroughs); disabled by default.
+    pub tracer: Tracer,
+    now: Cycle,
+    ndp_on: bool,
+    nsu_div: u64,
+}
+
+impl System {
+    /// Build a system for one kernel under one configuration.
+    pub fn new(cfg: SystemConfig, program: &Program) -> Self {
+        let kernel = Arc::new(compile(program, &CompilerConfig::default()));
+        Self::with_kernel(cfg, kernel)
+    }
+
+    pub fn with_kernel(cfg: SystemConfig, kernel: Arc<CompiledKernel>) -> Self {
+        let ndp_on = cfg.offload != OffloadPolicy::Never;
+        let blocks = Arc::new(kernel.blocks.clone());
+        let bpc = cfg.bytes_per_cycle(cfg.gpu.link_gbps);
+        let link_lat = cfg.gpu.link_latency;
+        let mut sms = Vec::with_capacity(cfg.gpu.num_sms);
+        for i in 0..cfg.gpu.num_sms {
+            sms.push(Sm::new(
+                SmConfig::from_system(i as u16, &cfg),
+                &cfg,
+                Arc::clone(&kernel),
+            ));
+        }
+        // Assign warps to SMs in CTA-contiguous chunks.
+        let warps_per_cta = 8u32;
+        for wg in 0..kernel.program.num_warps {
+            let cta = wg / warps_per_cta;
+            let sm = (cta as usize) % cfg.gpu.num_sms;
+            sms[sm].assign_warp(wg, u32::MAX, cta);
+        }
+        let slices = (0..cfg.l2_slices())
+            .map(|i| L2Slice::new(i as u8, &cfg))
+            .collect();
+        let up = (0..cfg.hmc.num_hmcs)
+            .map(|_| Link::new(bpc, link_lat, 64))
+            .collect();
+        let down = (0..cfg.hmc.num_hmcs)
+            .map(|_| Link::new(bpc, link_lat, 64))
+            .collect();
+        let stacks = (0..cfg.hmc.num_hmcs)
+            .map(|i| HmcStack::new(HmcId(i as u8), &cfg))
+            .collect();
+        let net = MemNetwork::new(
+            cfg.hmc.num_hmcs,
+            cfg.bytes_per_cycle(cfg.hmc.link_gbps),
+            cfg.hmc.memnet_hop_latency,
+            64,
+        );
+        let nsus = (0..cfg.hmc.num_hmcs)
+            .map(|i| Nsu::new(HmcId(i as u8), &cfg, Arc::clone(&blocks)))
+            .collect();
+        let ctrl = OffloadController::new(&cfg, blocks);
+        let nsu_div = cfg.nsu_divider();
+        System {
+            cfg,
+            kernel,
+            sms,
+            slices,
+            up,
+            down,
+            stacks,
+            net,
+            nsus,
+            ctrl,
+            tracer: Tracer::disabled(),
+            now: 0,
+            ndp_on,
+            nsu_div,
+        }
+    }
+
+    /// Record up to `limit` packet movements for protocol inspection.
+    pub fn enable_trace(&mut self, limit: usize) {
+        self.tracer = Tracer::enabled(limit);
+    }
+
+    /// One SM-clock cycle.
+    pub fn tick(&mut self) {
+        let now = self.now;
+
+        // 1. SMs issue.
+        for sm in &mut self.sms {
+            sm.tick(now, &mut self.ctrl);
+        }
+
+        // 2. SM outputs → L2 slices (on-die interconnect), with
+        //    backpressure: head-of-line packets wait for slice room.
+        for sm in &mut self.sms {
+            while let Some(front) = sm.out.front() {
+                let h = match front.dst {
+                    Node::L2(h) => h,
+                    other => other.hmc().map(|x| x.0).unwrap_or(0),
+                } as usize;
+                if !self.slices[h].can_accept() {
+                    break;
+                }
+                let p = sm.out.pop_front().expect("front exists");
+                self.tracer.record(now, TraceSite::SmEject, &p);
+                self.slices[h].from_sm(now, p);
+            }
+        }
+
+        // 3. L2 slices process; drain block-locality events.
+        for s in &mut self.slices {
+            s.tick(now);
+            for (block, hit) in s.block_events.drain(..) {
+                self.ctrl.note_l2_event(block, hit);
+            }
+        }
+
+        // 4. Slice memory-side output → up links.
+        for (h, s) in self.slices.iter_mut().enumerate() {
+            while !s.to_mem.is_empty() && self.up[h].can_accept() {
+                let p = s.to_mem.pop_front().expect("nonempty");
+                self.up[h].push(p).expect("checked");
+            }
+        }
+
+        // 5. Up links → stacks.
+        for (h, l) in self.up.iter_mut().enumerate() {
+            l.tick(now);
+            while let Some(p) = l.pop_ready(now) {
+                self.tracer.record(now, TraceSite::GpuLinkUp, &p);
+                self.stacks[h].accept(p);
+            }
+        }
+
+        // 6. Stacks (vault timing, response generation).
+        for st in &mut self.stacks {
+            st.tick(now);
+        }
+
+        // 7. Stack outputs: memory network, NSUs, GPU down links.
+        for h in 0..self.stacks.len() {
+            while let Some(front) = self.stacks[h].to_memnet.front() {
+                if !self.net.can_inject(HmcId(h as u8), front) {
+                    break;
+                }
+                let p = self.stacks[h].to_memnet.pop_front().expect("nonempty");
+                self.net.inject(HmcId(h as u8), p).expect("checked");
+            }
+            while let Some(p) = self.stacks[h].to_nsu.pop_front() {
+                self.tracer.record(now, TraceSite::ToNsu, &p);
+                self.nsus[h].deliver(p);
+            }
+            while !self.stacks[h].to_gpu.is_empty() && self.down[h].can_accept() {
+                let p = self.stacks[h].to_gpu.pop_front().expect("nonempty");
+                self.down[h].push(p).expect("checked");
+            }
+        }
+
+        // 8. Memory network: hop-by-hop forwarding; deliveries re-enter the
+        //    destination stack's logic layer.
+        self.net.tick(now);
+        for h in 0..self.stacks.len() {
+            while let Some(p) = self.net.pop_delivered(HmcId(h as u8)) {
+                self.stacks[h].accept(p);
+            }
+        }
+
+        // 9. NSUs run at SM-clock / divider (350 MHz default, §7.6 studies
+        //    175 MHz); credits return to the buffer manager piggybacked.
+        if self.ndp_on && now % self.nsu_div == 0 {
+            for h in 0..self.nsus.len() {
+                self.nsus[h].tick(now);
+                while let Some(p) = self.nsus[h].out.pop_front() {
+                    self.tracer.record(now, TraceSite::FromNsu, &p);
+                    self.stacks[h].accept(p);
+                }
+                let c = self.nsus[h].take_credits();
+                for _ in 0..c.cmd {
+                    self.ctrl.mgr.credit_cmd(HmcId(h as u8));
+                }
+                if c.read > 0 {
+                    self.ctrl.mgr.credit_read(HmcId(h as u8), c.read as usize);
+                }
+                if c.write > 0 {
+                    self.ctrl.mgr.credit_write(HmcId(h as u8), c.write as usize);
+                }
+            }
+        }
+
+        // 10. Down links → L2 slices (fills, acks, invals) or SMs (ACKs).
+        for (h, l) in self.down.iter_mut().enumerate() {
+            l.tick(now);
+            while let Some(p) = l.pop_ready(now) {
+                self.tracer.record(now, TraceSite::GpuLinkDown, &p);
+                match p.dst {
+                    Node::L2(_) => {
+                        if matches!(p.kind, ndp_common::packet::PacketKind::CacheInval { .. }) {
+                            // §4.1: an in-flight write address drained.
+                            self.ctrl.note_inval(HmcId(h as u8));
+                        }
+                        self.slices[h].from_mem(p)
+                    }
+                    Node::Sm(s) => self.sms[s as usize].deliver(now, p, &mut self.ctrl),
+                    other => panic!("unroutable down-link packet to {other:?}"),
+                }
+            }
+        }
+
+        // 11. Slice responses → SMs.
+        for s in &mut self.slices {
+            while let Some(p) = s.pop_to_sm(now) {
+                match p.dst {
+                    Node::Sm(i) => self.sms[i as usize].deliver(now, p, &mut self.ctrl),
+                    other => panic!("slice response to {other:?}"),
+                }
+            }
+        }
+
+        // 12. Controller epochs.
+        self.ctrl.on_cycle(now);
+
+        self.now += 1;
+    }
+
+    /// Everything drained?
+    pub fn is_done(&self) -> bool {
+        self.sms.iter().all(|s| s.is_done())
+            && self.slices.iter().all(|s| s.is_idle() && s.writes_outstanding == 0)
+            && self.up.iter().all(|l| l.is_idle())
+            && self.down.iter().all(|l| l.is_idle())
+            && self.stacks.iter().all(|s| !s.busy())
+            && self.net.is_idle()
+            && self.nsus.iter().all(|n| !n.busy())
+    }
+
+    /// Like [`System::run`] but also returns per-packet-kind GPU-link byte
+    /// totals (diagnostics).
+    pub fn run_with_kind_stats(mut self, max_cycles: u64) -> (RunResult, [u64; 12]) {
+        let mut timed_out = true;
+        while self.now < max_cycles {
+            self.tick();
+            if self.now % 256 == 0 && self.is_done() {
+                timed_out = false;
+                break;
+            }
+        }
+        if timed_out && self.is_done() {
+            timed_out = false;
+        }
+        let mut kinds = [0u64; 12];
+        for l in self.up.iter().chain(self.down.iter()) {
+            for i in 0..12 {
+                kinds[i] += l.stats.kind_bytes[i];
+            }
+        }
+        (self.collect(timed_out), kinds)
+    }
+
+    /// Run to completion (or the safety cap) and collect results.
+    pub fn run(mut self, max_cycles: u64) -> RunResult {
+        let mut timed_out = true;
+        while self.now < max_cycles {
+            self.tick();
+            if self.now % 256 == 0 && self.is_done() {
+                timed_out = false;
+                break;
+            }
+        }
+        if timed_out && self.is_done() {
+            timed_out = false;
+        }
+        self.collect(timed_out)
+    }
+
+    fn collect(self, timed_out: bool) -> RunResult {
+        let mut r = RunResult {
+            workload: self.kernel.program.name.to_string(),
+            config: format!("{:?}", self.cfg.offload),
+            cycles: self.now,
+            timed_out,
+            ..Default::default()
+        };
+        for sm in &self.sms {
+            r.issue.merge(&sm.stats);
+            r.l1.merge(&sm.l1_stats());
+            let (p, q) = sm.buffer_peaks();
+            r.sm_buffer_peaks.0 = r.sm_buffer_peaks.0.max(p);
+            r.sm_buffer_peaks.1 = r.sm_buffer_peaks.1.max(q);
+        }
+        for s in &self.slices {
+            r.l2.merge(&s.stats());
+            r.ondie_bytes += s.ondie_bytes;
+        }
+        for st in &self.stacks {
+            r.dram.merge(&st.dram_stats());
+            r.intra_hmc_bytes += st.intra_bytes;
+        }
+        for l in self.up.iter().chain(self.down.iter()) {
+            r.gpu_link_bytes += l.stats.bytes;
+            r.gpu_link_ndp_bytes += l.stats.ndp_bytes;
+            r.inval_bytes += l.stats.inval_bytes;
+        }
+        r.memnet_bytes = self.net.total_bytes();
+        let mut occ = 0.0;
+        let mut icu = 0.0;
+        for n in &self.nsus {
+            r.nsu_instrs += n.instrs;
+            occ += n.avg_occupancy();
+            icu += n.icache_utilization(self.cfg.nsu.icache_bytes);
+        }
+        r.nsu_occupancy = occ / self.nsus.len() as f64;
+        r.nsu_icache_util = icu / self.nsus.len() as f64;
+        r.offered = self.ctrl.offered;
+        r.offloaded = self.ctrl.offloaded;
+
+        r.activity = Activity {
+            seconds: self.now as f64 / (self.cfg.gpu.sm_clock_mhz as f64 * 1e6),
+            gpu_instrs: r.issue.issued,
+            nsu_instrs: r.nsu_instrs,
+            l1_accesses: r.l1.read_accesses() + r.l1.writes,
+            l2_accesses: r.l2.read_accesses() + r.l2.writes,
+            ondie_bytes: r.ondie_bytes,
+            gpu_link_bytes: r.gpu_link_bytes,
+            memnet_bytes: r.memnet_bytes,
+            intra_hmc_bytes: r.intra_hmc_bytes,
+            dram_activations: r.dram.activations,
+            dram_bytes: r.dram.read_bytes + r.dram.write_bytes,
+            num_nsus: if self.ndp_on { self.nsus.len() } else { 0 },
+            num_hmcs: self.stacks.len(),
+            memnet_powered: self.ndp_on,
+        };
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ndp_workloads::{Scale, Workload};
+
+    fn small(cfg: SystemConfig, w: Workload) -> RunResult {
+        let mut c = cfg;
+        c.gpu.num_sms = 8;
+        if matches!(c.offload, OffloadPolicy::Never) {
+            // keep NSUs idle
+        }
+        let p = w.build(&Scale {
+            warps: 64,
+            iters: 4,
+        });
+        System::new(c, &p).run(2_000_000)
+    }
+
+    #[test]
+    fn baseline_vadd_completes() {
+        let r = small(SystemConfig::baseline(), Workload::Vadd);
+        assert!(!r.timed_out, "baseline VADD did not drain");
+        assert!(r.cycles > 0);
+        assert!(r.issue.issued > 0);
+        assert!(r.gpu_link_bytes > 0, "streams must touch DRAM");
+        assert_eq!(r.nsu_instrs, 0, "no NDP in baseline");
+        assert_eq!(r.offloaded, 0);
+    }
+
+    #[test]
+    fn naive_ndp_vadd_completes_and_uses_nsus() {
+        let r = small(SystemConfig::naive_ndp(), Workload::Vadd);
+        assert!(!r.timed_out, "NDP VADD did not drain");
+        assert!(r.nsu_instrs > 0, "blocks must run on NSUs");
+        assert!(r.offloaded > 0);
+        assert!(r.memnet_bytes > 0, "cross-stack RDF responses expected");
+        assert!(r.nsu_occupancy > 0.0);
+    }
+
+    #[test]
+    fn ndp_reduces_gpu_link_traffic_for_streaming() {
+        let base = small(SystemConfig::baseline(), Workload::Vadd);
+        let ndp = small(SystemConfig::naive_ndp(), Workload::Vadd);
+        assert!(
+            ndp.gpu_link_bytes < base.gpu_link_bytes / 2,
+            "NDP should slash GPU link bytes: {} vs {}",
+            ndp.gpu_link_bytes,
+            base.gpu_link_bytes
+        );
+    }
+
+    #[test]
+    fn indirect_workload_completes_under_ndp() {
+        let r = small(SystemConfig::naive_ndp(), Workload::Bfs);
+        assert!(!r.timed_out, "BFS did not drain");
+        assert!(r.offloaded > 0);
+    }
+
+    #[test]
+    fn barrier_workload_completes() {
+        let r = small(SystemConfig::baseline(), Workload::Bprop);
+        assert!(!r.timed_out, "BPROP did not drain");
+    }
+
+    #[test]
+    fn wta_counters_drain_by_completion() {
+        // §4.1: when the system is drained, no write addresses are in
+        // flight anywhere — a page swap into any stack would be safe.
+        let mut cfg = SystemConfig::naive_ndp();
+        cfg.gpu.num_sms = 8;
+        let p = Workload::Vadd.build(&ndp_workloads::Scale { warps: 64, iters: 4 });
+        let mut sys = System::new(cfg, &p);
+        let mut saw_unsafe = false;
+        for _ in 0..2_000_000u64 {
+            sys.tick();
+            if sys.ctrl.wta_inflight.iter().any(|c| *c > 0) {
+                saw_unsafe = true;
+            }
+            if sys.is_done() {
+                break;
+            }
+        }
+        assert!(sys.is_done(), "run did not drain");
+        assert!(saw_unsafe, "offloaded stores must register in-flight WTAs");
+        for h in 0..8u8 {
+            assert!(
+                sys.ctrl.page_remap_safe(ndp_common::ids::HmcId(h)),
+                "stack {h} still has in-flight WTAs after drain"
+            );
+        }
+    }
+
+    #[test]
+    fn invalidation_traffic_present_only_with_ndp() {
+        let base = small(SystemConfig::baseline(), Workload::Vadd);
+        assert_eq!(base.inval_bytes, 0);
+        let ndp = small(SystemConfig::naive_ndp(), Workload::Vadd);
+        assert!(ndp.inval_bytes > 0, "NSU writes must invalidate GPU cache");
+        // §4.2 quantifies the overhead against the workload's baseline
+        // off-chip traffic: it must be a small fraction.
+        let frac = ndp.inval_bytes as f64 / base.gpu_link_bytes as f64;
+        assert!(frac < 0.05, "inval overhead vs baseline traffic: {frac}");
+    }
+}

@@ -1,0 +1,225 @@
+//! Lightweight packet tracing for protocol walkthroughs (Fig. 2).
+//!
+//! When enabled, the system records packet movements at its routing points
+//! (bounded ring); the `trace_fig2` example replays the life of one
+//! offload-block instance as the paper's ①–⑨ message sequence.
+
+use ndp_common::ids::{Cycle, Node, OffloadToken};
+use ndp_common::packet::{Packet, PacketKind};
+
+/// Where in the system a packet was observed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceSite {
+    /// Ejected from an SM into the on-die interconnect.
+    SmEject,
+    /// Delivered up a GPU link into a stack's logic layer.
+    GpuLinkUp,
+    /// Handed from a stack's logic layer to its NSU.
+    ToNsu,
+    /// Emitted by an NSU back into its stack.
+    FromNsu,
+    /// Delivered down a GPU link to the GPU.
+    GpuLinkDown,
+}
+
+impl TraceSite {
+    pub fn name(&self) -> &'static str {
+        match self {
+            TraceSite::SmEject => "SM→icnt",
+            TraceSite::GpuLinkUp => "link↑→HMC",
+            TraceSite::ToNsu => "xbar→NSU",
+            TraceSite::FromNsu => "NSU→xbar",
+            TraceSite::GpuLinkDown => "link↓→GPU",
+        }
+    }
+}
+
+/// One observed packet movement.
+#[derive(Debug, Clone)]
+pub struct TraceEvent {
+    pub cycle: Cycle,
+    pub site: TraceSite,
+    pub src: Node,
+    pub dst: Node,
+    pub size: u32,
+    pub kind: &'static str,
+    /// Offload token, for NDP-protocol packets.
+    pub token: Option<OffloadToken>,
+}
+
+/// Bounded event recorder (disabled ⇒ zero overhead beyond a branch).
+#[derive(Debug, Default)]
+pub struct Tracer {
+    events: Vec<TraceEvent>,
+    limit: usize,
+}
+
+impl Tracer {
+    pub fn disabled() -> Self {
+        Tracer::default()
+    }
+
+    pub fn enabled(limit: usize) -> Self {
+        Tracer {
+            events: Vec::with_capacity(limit.min(4096)),
+            limit,
+        }
+    }
+
+    #[inline]
+    pub fn is_on(&self) -> bool {
+        self.limit > 0 && self.events.len() < self.limit
+    }
+
+    #[inline]
+    pub fn record(&mut self, cycle: Cycle, site: TraceSite, p: &Packet) {
+        if !self.is_on() {
+            return;
+        }
+        self.events.push(TraceEvent {
+            cycle,
+            site,
+            src: p.src,
+            dst: p.dst,
+            size: p.size,
+            kind: Packet::KIND_NAMES[p.kind_index()],
+            token: token_of(p),
+        });
+    }
+
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// All events belonging to one offload-block instance, in order.
+    pub fn instance(&self, token: OffloadToken) -> Vec<&TraceEvent> {
+        self.events
+            .iter()
+            .filter(|e| e.token == Some(token))
+            .collect()
+    }
+
+    /// The first offload token observed, if any.
+    pub fn first_token(&self) -> Option<OffloadToken> {
+        self.events.iter().find_map(|e| e.token)
+    }
+
+    /// Render an instance's message flow in the style of Fig. 2(b).
+    pub fn render_instance(&self, token: OffloadToken) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "offload instance {:?} — partitioned-execution message flow (Fig. 2(b)):\n",
+            token
+        ));
+        for (i, e) in self.instance(token).iter().enumerate() {
+            out.push_str(&format!(
+                "  {:>2}. cycle {:>6}  {:<11} {:<12} {:?} → {:?}  ({} B)\n",
+                i + 1,
+                e.cycle,
+                e.site.name(),
+                e.kind,
+                e.src,
+                e.dst,
+                e.size
+            ));
+        }
+        out
+    }
+}
+
+fn token_of(p: &Packet) -> Option<OffloadToken> {
+    match p.kind {
+        PacketKind::OffloadCmd { token, .. }
+        | PacketKind::Rdf { token, .. }
+        | PacketKind::RdfResp { token, .. }
+        | PacketKind::Wta { token, .. }
+        | PacketKind::NsuWrite { token, .. }
+        | PacketKind::NsuWriteAck { token }
+        | PacketKind::OffloadAck { token, .. } => Some(token),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pkt(kind: PacketKind) -> Packet {
+        Packet::new(Node::Sm(0), Node::Nsu(1), 5, kind)
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let mut t = Tracer::disabled();
+        t.record(
+            1,
+            TraceSite::SmEject,
+            &pkt(PacketKind::CacheInval { addr: 0 }),
+        );
+        assert!(t.events().is_empty());
+        assert!(!t.is_on());
+    }
+
+    #[test]
+    fn limit_caps_recording() {
+        let mut t = Tracer::enabled(2);
+        for i in 0..5 {
+            t.record(
+                i,
+                TraceSite::SmEject,
+                &pkt(PacketKind::CacheInval { addr: 0 }),
+            );
+        }
+        assert_eq!(t.events().len(), 2);
+    }
+
+    #[test]
+    fn instance_filter_and_render() {
+        let mut t = Tracer::enabled(100);
+        let tok = OffloadToken(42);
+        t.record(
+            1,
+            TraceSite::SmEject,
+            &pkt(PacketKind::OffloadCmd {
+                token: tok,
+                id: ndp_common::ids::OffloadId {
+                    sm: 0,
+                    warp: 0,
+                    seq: 0,
+                },
+                nsu_pc: 0xd00,
+                regs_in: 0,
+                active: 32,
+                mask: u32::MAX,
+                n_loads: 1,
+                n_stores: 1,
+            }),
+        );
+        t.record(
+            2,
+            TraceSite::SmEject,
+            &pkt(PacketKind::CacheInval { addr: 0 }), // no token
+        );
+        t.record(
+            9,
+            TraceSite::GpuLinkDown,
+            &pkt(PacketKind::OffloadAck {
+                token: tok,
+                id: ndp_common::ids::OffloadId {
+                    sm: 0,
+                    warp: 0,
+                    seq: 0,
+                },
+                regs_out: 0,
+                active: 32,
+                values: vec![],
+            }),
+        );
+        assert_eq!(t.first_token(), Some(tok));
+        assert_eq!(t.instance(tok).len(), 2);
+        let text = t.render_instance(tok);
+        assert!(text.contains("OffloadCmd"), "{text}");
+        assert!(text.contains("OffloadAck"), "{text}");
+        assert!(!text.contains("CacheInval"), "{text}");
+    }
+}

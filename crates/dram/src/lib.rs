@@ -1,0 +1,13 @@
+//! DRAM timing model: banks with DDR3-1333H parameters and an FR-FCFS
+//! vault controller (Table 2: 16 banks/vault, 64-entry request queue).
+//!
+//! The controller is generic over a payload type `T` so upper layers can
+//! attach whole protocol packets to requests without this crate knowing
+//! about them. All times in this crate are **DRAM clock cycles** (tCK =
+//! 1.5 ns); the HMC layer converts to/from the SM-cycle timebase.
+
+pub mod bank;
+pub mod vault;
+
+pub use bank::Bank;
+pub use vault::{VaultController, VaultRequest};

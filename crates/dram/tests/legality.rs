@@ -1,0 +1,85 @@
+//! Property tests: DRAM command scheduling legality under random request
+//! sequences.
+
+use ndp_common::config::{DramTiming, HmcConfig};
+use ndp_dram::{Bank, VaultController, VaultRequest};
+use proptest::prelude::*;
+
+proptest! {
+    /// Bank schedules are causally ordered: each request's CAS issues at or
+    /// after `now`, data completes after CAS by at least tCL + one burst,
+    /// and consecutive requests on the same bank never overlap on the
+    /// column path.
+    #[test]
+    fn bank_schedule_is_causal(
+        reqs in prop::collection::vec((0u64..32, 1u32..5, any::<bool>(), 0u64..64), 1..50)
+    ) {
+        let t = DramTiming::default();
+        let mut bank = Bank::new();
+        let mut now = 0u64;
+        let mut prev_cas_end = 0u64;
+        for (row, bursts, is_write, gap) in reqs {
+            now += gap;
+            let s = bank.schedule(now, row, bursts, is_write, 0, &t);
+            prop_assert!(s.cas_at >= now, "CAS in the past");
+            prop_assert!(
+                s.data_done >= s.cas_at + t.t_cl as u64 + (t.t_ccd * bursts) as u64,
+                "data before CAS completes"
+            );
+            prop_assert!(s.cas_at >= prev_cas_end, "column path overlap");
+            prev_cas_end = s.cas_at + (t.t_ccd * bursts) as u64;
+            prop_assert_eq!(bank.open_row(), Some(row), "row left open");
+        }
+    }
+
+    /// Row hits never require activation; conflicts always do.
+    #[test]
+    fn activation_iff_row_change(rows in prop::collection::vec(0u64..4, 2..40)) {
+        let t = DramTiming::default();
+        let mut bank = Bank::new();
+        let mut now = 0u64;
+        let mut open: Option<u64> = None;
+        for row in rows {
+            let s = bank.schedule(now, row, 1, false, 0, &t);
+            prop_assert_eq!(s.activated, open != Some(row));
+            open = Some(row);
+            now = s.data_done + 1;
+        }
+    }
+
+    /// The vault controller conserves requests: everything pushed is
+    /// eventually completed exactly once, regardless of bank/row mix.
+    #[test]
+    fn vault_conserves_requests(
+        reqs in prop::collection::vec((0u8..16, 0u64..8, any::<bool>()), 1..64)
+    ) {
+        let mut v: VaultController<usize> = VaultController::new(&HmcConfig::default());
+        let n = reqs.len();
+        for (i, (bank, row, is_write)) in reqs.into_iter().enumerate() {
+            v.push(VaultRequest {
+                bank,
+                row,
+                bytes: 128,
+                is_write,
+                payload: i,
+            })
+            .ok()
+            .expect("capacity 64 ≥ test size");
+        }
+        let mut seen = vec![false; n];
+        let mut done = 0;
+        for now in 0..100_000u64 {
+            v.tick(now);
+            while let Some(r) = v.pop_done(now) {
+                prop_assert!(!seen[r.payload], "duplicate completion");
+                seen[r.payload] = true;
+                done += 1;
+            }
+            if done == n {
+                break;
+            }
+        }
+        prop_assert_eq!(done, n, "requests lost");
+        prop_assert!(!v.busy());
+    }
+}

@@ -1,0 +1,16 @@
+//! GPU timing model: SIMT SMs, memory coalescing, write-through cache
+//! hierarchy with MSHRs, and the GPU-side NDP machinery (pending/ready
+//! packet buffers, the credit-keeping buffer manager, RDF/WTA/CMD packet
+//! generation of §4.1.1).
+
+pub mod cache;
+pub mod coalesce;
+pub mod ndpbuf;
+pub mod sm;
+pub mod uncore;
+
+pub use cache::{Cache, Probe};
+pub use coalesce::coalesce;
+pub use ndpbuf::BufferManager;
+pub use sm::{NdpEnv, Sm, SmConfig};
+pub use uncore::L2Slice;

@@ -1,0 +1,1401 @@
+//! Streaming multiprocessor timing model with partitioned-execution support.
+//!
+//! Each SM holds up to 48 warp contexts, issues up to `issue_width`
+//! instructions per cycle through a loose round-robin scheduler with a
+//! per-register scoreboard, coalesces memory accesses, probes its private
+//! L1D, and — for offloaded block instances — generates the CMD/RDF/WTA
+//! packet streams of §4.1.1 through the pending/ready NDP buffers.
+//!
+//! No-issue cycles are attributed to the Fig. 8 categories: ExecUnitBusy
+//! (structural hazard: unit taken, MSHR full, buffers full), DependencyStall
+//! (operand not ready), WarpIdle (no runnable instruction — empty slots,
+//! barriers, or warps blocked on offload acknowledgments).
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+use ndp_common::config::SystemConfig;
+use ndp_common::ids::{Cycle, HmcId, Node, OffloadId, OffloadToken};
+use ndp_common::memmap::MemMap;
+use ndp_common::packet::{LineAccess, Packet, PacketKind};
+use ndp_common::stats::{IssueStats, NoIssue};
+use ndp_compiler::CompiledKernel;
+use ndp_isa::exec::{Step, WarpExec};
+use ndp_isa::instr::MemSpace;
+use ndp_isa::offload::InstrRole;
+use ndp_isa::program::Item;
+use ndp_isa::Reg;
+
+use crate::cache::{Cache, Probe};
+use crate::coalesce::coalesce;
+use crate::ndpbuf::SmPacketBuffers;
+
+/// Environment the SM consults for offload decisions and reports block
+/// statistics to. Implemented by the system-level offload controller.
+pub trait NdpEnv {
+    /// Should this offload-block instance be offloaded? Called once per
+    /// instance at `OFLD.BEG`.
+    fn decide_offload(&mut self, sm: u16, block: u16) -> bool;
+    /// Reserve NSU buffers for a block (§4.3). All-or-nothing.
+    fn try_reserve(&mut self, hmc: HmcId, n_loads: usize, n_stores: usize) -> bool;
+    /// Cache-behaviour sample for one load instruction of a block: lines
+    /// touched and how many hit in the L1 (L2 hits are reported by the
+    /// uncore separately). Feeds the §7.3 locality gate.
+    fn note_block_lines(&mut self, block: u16, lines: u32, l1_hits: u32);
+    /// One block instance finished (either side); `instrs` is the block's
+    /// instruction count — the throughput signal of Algorithm 1.
+    fn note_block_done(&mut self, block: u16, instrs: u32);
+    /// A WTA line was generated whose DRAM write will land in `hmc`
+    /// (§4.1 "Handling dynamic memory management": the GPU tracks in-flight
+    /// write addresses per stack so a page swap can wait for them).
+    fn note_wta_line(&mut self, hmc: HmcId);
+    /// §7.1 extension — the optional small read-only cache on each NSU:
+    /// returns true when `line` is already resident in `nsu`'s read-only
+    /// cache (the GPU marshals all data movement, so it can keep this
+    /// directory); marks the line resident otherwise. Always false when
+    /// the feature is disabled.
+    fn nsu_ro_cached(&mut self, nsu: HmcId, line: u64) -> bool {
+        let _ = (nsu, line);
+        false
+    }
+}
+
+/// Per-SM static parameters (derived from [`SystemConfig`]).
+#[derive(Debug, Clone, Copy)]
+pub struct SmConfig {
+    pub id: u16,
+    pub warp_slots: usize,
+    pub issue_width: usize,
+    pub alu_lat: u32,
+    pub sfu_lat: u32,
+    pub l1_lat: u32,
+    pub line_bytes: u32,
+    pub word_bytes: u32,
+    /// Warps per CTA (for barrier scope).
+    pub warps_per_cta: u32,
+    /// Max packets the SM ejects into the interconnect per cycle.
+    pub eject_rate: usize,
+    /// Output queue capacity (backpressure bound).
+    pub out_capacity: usize,
+    pub shared_lat: u32,
+    /// §4.1 RDF cache-probe behaviour (ablation knob).
+    pub rdf_probes_cache: bool,
+}
+
+impl SmConfig {
+    pub fn from_system(id: u16, cfg: &SystemConfig) -> Self {
+        SmConfig {
+            id,
+            warp_slots: cfg.gpu.warps_per_sm,
+            issue_width: cfg.gpu.issue_width,
+            alu_lat: cfg.gpu.alu_latency,
+            sfu_lat: cfg.gpu.sfu_latency,
+            l1_lat: cfg.gpu.l1_hit_latency,
+            line_bytes: cfg.gpu.line_bytes as u32,
+            word_bytes: 4,
+            warps_per_cta: 8,
+            eject_rate: 2,
+            out_capacity: 128,
+            shared_lat: cfg.gpu.l1_hit_latency,
+            rdf_probes_cache: cfg.nsu.rdf_probes_gpu_cache,
+        }
+    }
+}
+
+/// Offload context of a warp currently inside an offloaded block instance.
+#[derive(Debug)]
+struct OflCtx {
+    block: u16,
+    token: OffloadToken,
+    target: Option<HmcId>,
+    /// Sequence number of the next memory instruction (§4.1.1).
+    seq: u16,
+    reserved: bool,
+    /// Packets staged until the reservation is granted (pending buffer).
+    staged: Vec<Packet>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WState {
+    Ready,
+    Barrier,
+    WaitAck,
+}
+
+struct WarpSlot {
+    exec: WarpExec,
+    cta: u32,
+    reg_ready: [Cycle; 64],
+    state: WState,
+    ofl: Option<OflCtx>,
+    /// Block the warp is currently passing through *without* offloading
+    /// (for per-block stats parity).
+    local_block: Option<u16>,
+    /// Scheduler shortcut: the warp is known to be dependency-stalled until
+    /// this cycle (`Cycle::MAX` while waiting on an outstanding load).
+    wake_at: Cycle,
+    /// Memoized coalesce result for the current memory instruction
+    /// (`(executed-count, accesses)`), so repeated issue attempts under
+    /// structural stalls don't redo the 32-lane grouping.
+    coalesced: Option<(u64, Vec<LineAccess>)>,
+}
+
+/// In-flight offload bookkeeping (per SM).
+struct Inflight {
+    slot: usize,
+    block: u16,
+}
+
+struct LoadTrack {
+    slot: usize,
+    /// Slot incarnation at issue time — guards against a retired warp's
+    /// slot being reused before a stale fill arrives.
+    inc: u32,
+    dst: Reg,
+    remaining: u32,
+}
+
+/// One streaming multiprocessor.
+pub struct Sm {
+    pub cfg: SmConfig,
+    kernel: Arc<CompiledKernel>,
+    memmap: MemMap,
+    slots: Vec<Option<WarpSlot>>,
+    /// Per-slot incarnation counters (bumped on spawn).
+    incarnation: Vec<u32>,
+    /// Warps not yet launched: (global warp index, active mask, cta).
+    launch_queue: VecDeque<(u32, u32, u32)>,
+    l1d: Cache<u64>,
+    load_tracks: HashMap<u64, LoadTrack>,
+    next_track: u64,
+    next_token: u64,
+    inflight: HashMap<OffloadToken, Inflight>,
+    buffers: SmPacketBuffers,
+    /// Outgoing packets (cache traffic + granted NDP packets).
+    pub out: VecDeque<Packet>,
+    /// Barrier bookkeeping: cta → arrived count.
+    barrier_arrived: HashMap<u32, u32>,
+    /// cta → live warps resident.
+    cta_alive: HashMap<u32, u32>,
+    rr_cursor: usize,
+    seed: u64,
+    pub stats: IssueStats,
+    /// Dynamic warp instructions issued inside offload blocks (either mode).
+    pub block_instrs: u64,
+    /// Warps that have fully completed (including ACK waits).
+    pub warps_retired: u64,
+}
+
+impl Sm {
+    pub fn new(cfg: SmConfig, sys: &SystemConfig, kernel: Arc<CompiledKernel>) -> Self {
+        Sm {
+            cfg,
+            memmap: MemMap::new(sys),
+            slots: (0..cfg.warp_slots).map(|_| None).collect(),
+            incarnation: vec![0; cfg.warp_slots],
+            launch_queue: VecDeque::new(),
+            l1d: Cache::new(
+                sys.gpu.l1d_bytes,
+                sys.gpu.l1d_ways,
+                sys.gpu.line_bytes,
+                sys.gpu.l1d_mshrs,
+            ),
+            load_tracks: HashMap::new(),
+            next_track: 0,
+            next_token: 0,
+            inflight: HashMap::new(),
+            buffers: SmPacketBuffers::new(sys),
+            out: VecDeque::new(),
+            barrier_arrived: HashMap::new(),
+            cta_alive: HashMap::new(),
+            rr_cursor: 0,
+            seed: sys.seed,
+            stats: IssueStats::default(),
+            block_instrs: 0,
+            warps_retired: 0,
+            kernel,
+        }
+    }
+
+    /// Queue a warp for execution on this SM.
+    pub fn assign_warp(&mut self, warp_global: u32, active: u32, cta: u32) {
+        self.launch_queue.push_back((warp_global, active, cta));
+    }
+
+    /// All warps retired and nothing in flight.
+    pub fn is_done(&self) -> bool {
+        self.launch_queue.is_empty()
+            && self.slots.iter().all(|s| s.is_none())
+            && self.load_tracks.is_empty()
+            && self.inflight.is_empty()
+            && self.out.is_empty()
+            && self.buffers.is_empty()
+    }
+
+    pub fn l1_stats(&self) -> ndp_common::stats::CacheStats {
+        self.l1d.stats
+    }
+
+    fn spawn_warps(&mut self) {
+        if self.launch_queue.is_empty() {
+            return;
+        }
+        for i in 0..self.slots.len() {
+            if self.slots[i].is_none() {
+                let Some((wg, active, cta)) = self.launch_queue.pop_front() else {
+                    break;
+                };
+                *self.cta_alive.entry(cta).or_insert(0) += 1;
+                self.incarnation[i] += 1;
+                self.slots[i] = Some(WarpSlot {
+                    exec: WarpExec::new(&self.kernel.program, wg, active, self.seed),
+                    cta,
+                    reg_ready: [0; 64],
+                    state: WState::Ready,
+                    ofl: None,
+                    local_block: None,
+                    wake_at: 0,
+                    coalesced: None,
+                });
+            }
+        }
+    }
+
+    /// Advance one cycle. Issues instructions, stages/promotes NDP packets,
+    /// ejects packets into `out`.
+    pub fn tick(&mut self, now: Cycle, env: &mut dyn NdpEnv) {
+        self.spawn_warps();
+        self.retry_reservations(env);
+        self.issue(now, env);
+        self.promote_and_eject();
+    }
+
+    /// Retry buffer reservations for warps whose target is known (§4.1.1:
+    /// packets wait in the pending buffer until granted).
+    fn retry_reservations(&mut self, env: &mut dyn NdpEnv) {
+        for slot in self.slots.iter_mut().flatten() {
+            if let Some(ofl) = slot.ofl.as_mut() {
+                if !ofl.reserved {
+                    if let Some(hmc) = ofl.target {
+                        let b = self.kernel.block(ofl.block);
+                        if env.try_reserve(hmc, b.n_loads(), b.n_stores()) {
+                            ofl.reserved = true;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Move granted staged packets into the ready buffer and eject.
+    fn promote_and_eject(&mut self) {
+        for slot in self.slots.iter_mut().flatten() {
+            if let Some(ofl) = slot.ofl.as_mut() {
+                if ofl.reserved {
+                    let target = ofl.target.expect("reserved implies target");
+                    while !ofl.staged.is_empty() && self.buffers.ready_has_room(1) {
+                        let mut p = ofl.staged.remove(0);
+                        retarget(&mut p, target);
+                        self.buffers.push_ready(p).expect("room checked");
+                    }
+                }
+            }
+        }
+        for _ in 0..self.cfg.eject_rate {
+            if self.out.len() >= self.cfg.out_capacity {
+                break;
+            }
+            match self.buffers.pop_ready() {
+                Some(p) => self.out.push_back(p),
+                None => break,
+            }
+        }
+    }
+
+    fn issue(&mut self, now: Cycle, env: &mut dyn NdpEnv) {
+        let n = self.slots.len();
+        let mut issued = 0usize;
+        let mut alu_free = 2usize;
+        let mut lsu_free = 1usize;
+        let mut sfu_free = 1usize;
+        let mut saw_exec_busy = false;
+        let mut saw_dep = false;
+
+        for k in 0..n {
+            if issued >= self.cfg.issue_width {
+                break;
+            }
+            let i = (self.rr_cursor + k) % n;
+            let Some(slotref) = self.slots[i].as_mut() else {
+                continue;
+            };
+            if slotref.state != WState::Ready {
+                if slotref.state == WState::WaitAck || slotref.state == WState::Barrier {
+                    // Blocked warps are the WarpIdle class; nothing to scan.
+                }
+                continue;
+            }
+            if slotref.wake_at > now {
+                saw_dep = true;
+                continue;
+            }
+            match self.try_issue_warp(now, i, env, &mut alu_free, &mut lsu_free, &mut sfu_free) {
+                IssueResult::Issued => {
+                    issued += 1;
+                    self.rr_cursor = (i + 1) % n;
+                }
+                IssueResult::ExecBusy => saw_exec_busy = true,
+                IssueResult::DepStall => saw_dep = true,
+                IssueResult::Idle => {}
+            }
+        }
+
+        if issued > 0 {
+            self.stats.issued += issued as u64;
+        } else if saw_exec_busy {
+            self.stats.record_no_issue(NoIssue::ExecUnitBusy);
+        } else if saw_dep {
+            self.stats.record_no_issue(NoIssue::DependencyStall);
+        } else {
+            self.stats.record_no_issue(NoIssue::WarpIdle);
+        }
+    }
+
+    fn try_issue_warp(
+        &mut self,
+        now: Cycle,
+        slot_idx: usize,
+        env: &mut dyn NdpEnv,
+        alu_free: &mut usize,
+        lsu_free: &mut usize,
+        sfu_free: &mut usize,
+    ) -> IssueResult {
+        let kernel = Arc::clone(&self.kernel);
+        let program = &kernel.program;
+        let slot = self.slots[slot_idx].as_mut().expect("checked");
+        let step = slot.exec.current(program);
+
+        // Warp finished?
+        if matches!(step, Step::Done) {
+            self.finish_warp(slot_idx);
+            return IssueResult::Idle;
+        }
+        let idx = step.idx().expect("not done");
+
+        // Block-boundary bookkeeping: entering a block?
+        if slot.ofl.is_none() && slot.local_block.is_none() {
+            if let Some(bid) = kernel.block_starting_at[idx] {
+                if env.decide_offload(self.cfg.id, bid) {
+                    let token = OffloadToken(((self.cfg.id as u64) << 40) | self.next_token);
+                    self.next_token += 1;
+                    let b = kernel.block(bid);
+                    let active = slot.exec.active.count_ones() as u8;
+                    let cmd = Packet::new(
+                        Node::Sm(self.cfg.id),
+                        Node::Nsu(0), // retargeted once the target is known
+                        now,
+                        PacketKind::OffloadCmd {
+                            token,
+                            id: OffloadId {
+                                sm: self.cfg.id,
+                                warp: slot_idx as u16,
+                                seq: 0,
+                            },
+                            nsu_pc: b.nsu_pc,
+                            regs_in: b.live_in.len() as u8,
+                            active,
+                            mask: slot.exec.active,
+                            n_loads: b.n_loads() as u8,
+                            n_stores: b.n_stores() as u8,
+                        },
+                    );
+                    slot.ofl = Some(OflCtx {
+                        block: bid,
+                        token,
+                        target: None,
+                        seq: 0,
+                        reserved: false,
+                        staged: vec![cmd],
+                    });
+                } else {
+                    slot.local_block = Some(bid);
+                }
+            }
+        }
+
+        let role = slot
+            .ofl
+            .as_ref()
+            .map(|o| kernel.block(o.block).role_of(idx))
+            .unwrap_or(None);
+
+        match step {
+            Step::Done => unreachable!(),
+            Step::Barrier { .. } => {
+                // Barriers are outside offload blocks by construction.
+                slot.state = WState::Barrier;
+                let cta = slot.cta;
+                slot.exec.step(program);
+                let arrived = self.barrier_arrived.entry(cta).or_insert(0);
+                *arrived += 1;
+                if *arrived >= *self.cta_alive.get(&cta).unwrap_or(&0) {
+                    self.barrier_arrived.insert(cta, 0);
+                    for s in self.slots.iter_mut().flatten() {
+                        if s.cta == cta && s.state == WState::Barrier {
+                            s.state = WState::Ready;
+                        }
+                    }
+                }
+                IssueResult::Issued
+            }
+            Step::Alu { op, dst, idx } => {
+                match role {
+                    Some(InstrRole::AtNsu) => {
+                        // NOP on the GPU: consumes an issue slot only.
+                        slot.exec.step(program);
+                        self.block_instrs += 1;
+                        self.after_instr(now, slot_idx, idx, env);
+                        IssueResult::Issued
+                    }
+                    _ => {
+                        // Normal ALU (includes AddrCalc inside blocks).
+                        if !self.operands_ready(now, slot_idx, idx) {
+                            return IssueResult::DepStall;
+                        }
+                        let (unit, lat) = if op.is_sfu() {
+                            (sfu_free, self.cfg.sfu_lat)
+                        } else {
+                            (alu_free, self.cfg.alu_lat)
+                        };
+                        if *unit == 0 {
+                            return IssueResult::ExecBusy;
+                        }
+                        *unit -= 1;
+                        let slot = self.slots[slot_idx].as_mut().expect("checked");
+                        slot.exec.step(program);
+                        slot.reg_ready[dst.0 as usize] = now + lat as Cycle;
+                        if self.kernel.role_map[idx].is_some() {
+                            self.block_instrs += 1;
+                        }
+                        self.after_instr(now, slot_idx, idx, env);
+                        IssueResult::Issued
+                    }
+                }
+            }
+            Step::Load {
+                idx,
+                dst,
+                space,
+                addrs,
+                active,
+            } => {
+                if *lsu_free == 0 {
+                    return IssueResult::ExecBusy;
+                }
+                if !self.operands_ready(now, slot_idx, idx) {
+                    return IssueResult::DepStall;
+                }
+                if space != MemSpace::Global {
+                    // Scratchpad/constant: fixed-latency on-chip access.
+                    *lsu_free -= 1;
+                    let slot = self.slots[slot_idx].as_mut().expect("checked");
+                    slot.exec.step(program);
+                    slot.reg_ready[dst.0 as usize] = now + self.cfg.shared_lat as Cycle;
+                    self.after_instr(now, slot_idx, idx, env);
+                    return IssueResult::Issued;
+                }
+                let accesses = self.coalesce_memo(slot_idx, &addrs, active);
+                let r = if role == Some(InstrRole::Load) {
+                    self.issue_rdf(now, slot_idx, accesses, env)
+                } else {
+                    self.issue_local_load(now, slot_idx, idx, dst, accesses, env)
+                };
+                if matches!(r, IssueResult::Issued) {
+                    *lsu_free -= 1;
+                    self.after_instr(now, slot_idx, idx, env);
+                }
+                r
+            }
+            Step::Store {
+                idx, space, addrs, active, ..
+            } => {
+                if *lsu_free == 0 {
+                    return IssueResult::ExecBusy;
+                }
+                if !self.operands_ready(now, slot_idx, idx) {
+                    return IssueResult::DepStall;
+                }
+                if space != MemSpace::Global {
+                    *lsu_free -= 1;
+                    let slot = self.slots[slot_idx].as_mut().expect("checked");
+                    slot.exec.step(program);
+                    self.after_instr(now, slot_idx, idx, env);
+                    return IssueResult::Issued;
+                }
+                let accesses = self.coalesce_memo(slot_idx, &addrs, active);
+                let r = if role == Some(InstrRole::Store) {
+                    self.issue_wta(now, slot_idx, accesses, env)
+                } else {
+                    self.issue_local_store(now, slot_idx, idx, accesses)
+                };
+                if matches!(r, IssueResult::Issued) {
+                    *lsu_free -= 1;
+                    self.after_instr(now, slot_idx, idx, env);
+                }
+                r
+            }
+        }
+    }
+
+    /// Scoreboard: the cycle at which the GPU-relevant source operands are
+    /// all ready. Inside an offloaded block, NSU-produced values (load dsts,
+    /// `@NSU` results) are not waited on by the GPU (only address chains
+    /// matter); a store's data register is likewise skipped when offloaded.
+    fn operands_ready_at(&self, slot_idx: usize, idx: usize) -> Cycle {
+        let slot = self.slots[slot_idx].as_ref().expect("checked");
+        let Item::Op(instr) = &self.kernel.program.items[idx] else {
+            return 0;
+        };
+        let offloaded_role = slot
+            .ofl
+            .as_ref()
+            .and_then(|o| self.kernel.block(o.block).role_of(idx));
+        let regs: Vec<Reg> = match offloaded_role {
+            Some(InstrRole::Load) | Some(InstrRole::Store) => {
+                instr.addr_reg().into_iter().collect()
+            }
+            Some(InstrRole::AtNsu) => vec![],
+            _ => instr.srcs(),
+        };
+        regs.iter()
+            .map(|r| slot.reg_ready[r.0 as usize])
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Scoreboard check; on a stall, memoize the wake-up cycle so the
+    /// scheduler skips this warp until its operands can be ready.
+    fn operands_ready(&mut self, now: Cycle, slot_idx: usize, idx: usize) -> bool {
+        let at = self.operands_ready_at(slot_idx, idx);
+        if at <= now {
+            true
+        } else {
+            self.slots[slot_idx].as_mut().expect("checked").wake_at = at;
+            false
+        }
+    }
+
+    /// Structural-hazard backoff: skip this warp for a few cycles (MSHRs
+    /// and output queues rarely free up within one cycle). The wake slot is
+    /// cleared by `deliver` when a fill arrives anyway.
+    fn nap(&mut self, slot_idx: usize, until: Cycle) {
+        let slot = self.slots[slot_idx].as_mut().expect("checked");
+        slot.wake_at = slot.wake_at.max(until);
+    }
+
+    /// Coalesce with memoization keyed on the warp's dynamic instruction
+    /// count (stable across repeated issue attempts of the same instr).
+    fn coalesce_memo(
+        &mut self,
+        slot_idx: usize,
+        addrs: &ndp_isa::LaneValues,
+        active: u32,
+    ) -> Vec<LineAccess> {
+        let word = self.cfg.word_bytes;
+        let line = self.cfg.line_bytes;
+        let slot = self.slots[slot_idx].as_mut().expect("checked");
+        let key = slot.exec.executed;
+        if let Some((k, a)) = &slot.coalesced {
+            if *k == key {
+                return a.clone();
+            }
+        }
+        let a = coalesce(addrs, active, word, line);
+        slot.coalesced = Some((key, a.clone()));
+        a
+    }
+
+    /// Post-issue bookkeeping: block exit detection.
+    fn after_instr(&mut self, now: Cycle, slot_idx: usize, idx: usize, env: &mut dyn NdpEnv) {
+        let kernel = Arc::clone(&self.kernel);
+        let slot = self.slots[slot_idx].as_mut().expect("checked");
+        if let Some(ofl) = slot.ofl.as_ref() {
+            let b = kernel.block(ofl.block);
+            if idx + 1 == b.end {
+                // OFLD.END: block until the ACK returns (§4.1.1). The warp
+                // can context-switch — other warps keep the SM busy.
+                let token = ofl.token;
+                let block = ofl.block;
+                slot.state = WState::WaitAck;
+                self.inflight.insert(
+                    token,
+                    Inflight {
+                        slot: slot_idx,
+                        block,
+                    },
+                );
+                let _ = now;
+            }
+        } else if let Some(bid) = slot.local_block {
+            let b = kernel.block(bid);
+            if idx + 1 == b.end {
+                slot.local_block = None;
+                env.note_block_done(bid, (b.end - b.start) as u32);
+            }
+        }
+    }
+
+    /// Offloaded load: generate RDF packets (§4.1.1). The L1 is probed
+    /// first; hits ship the cached words straight to the NSU as RDF
+    /// responses (consuming GPU off-chip bandwidth — the §7.1 BPROP effect).
+    fn issue_rdf(
+        &mut self,
+        now: Cycle,
+        slot_idx: usize,
+        accesses: Vec<LineAccess>,
+        env: &mut dyn NdpEnv,
+    ) -> IssueResult {
+        let kernel = Arc::clone(&self.kernel);
+        let n = accesses.len();
+        {
+            let slot = self.slots[slot_idx].as_ref().expect("checked");
+            let ofl = slot.ofl.as_ref().expect("role implies offload ctx");
+            // Pending-buffer capacity check (shared across warps).
+            let staged_total: usize = self
+                .slots
+                .iter()
+                .flatten()
+                .filter_map(|s| s.ofl.as_ref())
+                .map(|o| o.staged.len())
+                .sum();
+            if !self
+                .buffers
+                .pending_has_room(staged_total.saturating_add(n))
+            {
+                return IssueResult::ExecBusy;
+            }
+            let _ = ofl;
+        }
+
+        // Determine target from the first memory instruction (most-accessed
+        // stack wins, first on ties — Fig. 5 policy).
+        let slot = self.slots[slot_idx].as_mut().expect("checked");
+        let ofl = slot.ofl.as_mut().expect("ctx");
+        if ofl.target.is_none() {
+            ofl.target = Some(pick_target(&accesses, &self.memmap));
+        }
+        let target = ofl.target.expect("set above");
+        let token = ofl.token;
+        let seq = ofl.seq;
+        ofl.seq += 1;
+
+        let ofl_block_id = ofl_block(self.slots[slot_idx].as_ref());
+        let mut l1_hits = 0u32;
+        let mut staged = vec![];
+        for access in accesses {
+            // Probe-only L1 lookup: no MSHR, the data never returns here.
+            let hit = self.cfg.rdf_probes_cache && self.l1d.contains(access.line);
+            if hit {
+                self.l1d.stats.read_hits += 1;
+                l1_hits += 1;
+                if env.nsu_ro_cached(target, access.line) {
+                    // §7.1 read-only NSU cache: the data is already there —
+                    // send a header-only reference instead of the words.
+                    staged.push(Packet::new(
+                        Node::Sm(self.cfg.id),
+                        Node::Nsu(target.0),
+                        now,
+                        PacketKind::Rdf {
+                            token,
+                            seq,
+                            access,
+                            target: Node::Nsu(target.0),
+                            block: ofl_block_id,
+                            cache_hit_data: false,
+                        },
+                    ));
+                    continue;
+                }
+                staged.push(Packet::new(
+                    Node::Sm(self.cfg.id),
+                    Node::Nsu(target.0),
+                    now,
+                    PacketKind::RdfResp { token, seq, access },
+                ));
+            } else {
+                self.l1d.stats.read_misses += 1;
+                let coord = self.memmap.decode(access.line);
+                staged.push(Packet::new(
+                    Node::Sm(self.cfg.id),
+                    Node::Vault(coord.hmc.0, coord.vault.0),
+                    now,
+                    PacketKind::Rdf {
+                        token,
+                        seq,
+                        access,
+                        target: Node::Nsu(target.0),
+                        block: ofl_block_id,
+                        cache_hit_data: hit,
+                    },
+                ));
+            }
+        }
+        env.note_block_lines(ofl_block(self.slots[slot_idx].as_ref()), n as u32, l1_hits);
+        let slot = self.slots[slot_idx].as_mut().expect("checked");
+        slot.exec.step(&kernel.program);
+        slot.ofl.as_mut().expect("ctx").staged.extend(staged);
+        self.block_instrs += 1;
+        IssueResult::Issued
+    }
+
+    /// Offloaded store: generate WTA packets carrying physical addresses.
+    fn issue_wta(
+        &mut self,
+        now: Cycle,
+        slot_idx: usize,
+        accesses: Vec<LineAccess>,
+        env: &mut dyn NdpEnv,
+    ) -> IssueResult {
+        let kernel = Arc::clone(&self.kernel);
+        let n = accesses.len();
+        let staged_total: usize = self
+            .slots
+            .iter()
+            .flatten()
+            .filter_map(|s| s.ofl.as_ref())
+            .map(|o| o.staged.len())
+            .sum();
+        if !self
+            .buffers
+            .pending_has_room(staged_total.saturating_add(n))
+        {
+            return IssueResult::ExecBusy;
+        }
+        let slot = self.slots[slot_idx].as_mut().expect("checked");
+        let ofl = slot.ofl.as_mut().expect("role implies offload ctx");
+        if ofl.target.is_none() {
+            ofl.target = Some(pick_target(&accesses, &self.memmap));
+        }
+        let target = ofl.target.expect("set");
+        let token = ofl.token;
+        let seq = ofl.seq;
+        ofl.seq += 1;
+        let n_accesses = accesses.len() as u8;
+        let mut wta_hmcs = Vec::with_capacity(accesses.len());
+        for access in accesses {
+            wta_hmcs.push(self.memmap.hmc_of(access.line));
+            ofl.staged.push(Packet::new(
+                Node::Sm(self.cfg.id),
+                Node::Nsu(target.0),
+                now,
+                PacketKind::Wta {
+                    token,
+                    seq,
+                    access,
+                    target: Node::Nsu(target.0),
+                    n_accesses,
+                },
+            ));
+        }
+        slot.exec.step(&kernel.program);
+        self.block_instrs += 1;
+        for h in wta_hmcs {
+            env.note_wta_line(h);
+        }
+        IssueResult::Issued
+    }
+
+    /// Baseline load through L1 (+ L2/DRAM on miss).
+    fn issue_local_load(
+        &mut self,
+        now: Cycle,
+        slot_idx: usize,
+        idx: usize,
+        dst: Reg,
+        accesses: Vec<LineAccess>,
+        env: &mut dyn NdpEnv,
+    ) -> IssueResult {
+        let kernel = Arc::clone(&self.kernel);
+        // Structural checks first: we need room for worst-case misses.
+        let misses_possible = accesses.len();
+        if self.out.len() + misses_possible > self.cfg.out_capacity {
+            self.nap(slot_idx, now + 4);
+            return IssueResult::ExecBusy;
+        }
+        // MSHR room for new misses (conservative).
+        let new_lines = accesses
+            .iter()
+            .filter(|a| !self.l1d.contains(a.line))
+            .count();
+        if self.l1d.mshr_used() + new_lines > self.l1d.mshr_capacity() {
+            self.nap(slot_idx, now + 4);
+            return IssueResult::ExecBusy;
+        }
+
+        let track_id = self.next_track;
+        self.next_track += 1;
+        let mut remaining = 0u32;
+        let mut l1_hits = 0u32;
+        let n_lines = accesses.len() as u32;
+        for access in &accesses {
+            match self.l1d.probe_read(access.line, track_id) {
+                Probe::Hit => l1_hits += 1,
+                Probe::MissMerged => remaining += 1,
+                Probe::MissNew => {
+                    remaining += 1;
+                    self.out.push_back(Packet::new(
+                        Node::Sm(self.cfg.id),
+                        Node::L2(self.memmap.hmc_of(access.line).0),
+                        now,
+                        PacketKind::ReadReq {
+                            addr: access.line,
+                            bytes: self.cfg.line_bytes,
+                            tag: ((self.cfg.id as u64) << 40) | track_id,
+                            block: kernel.role_map[idx]
+                                .map(|(b, _)| b)
+                                .unwrap_or(ndp_common::packet::NO_BLOCK),
+                        },
+                    ));
+                }
+                Probe::MshrFull => unreachable!("capacity pre-checked"),
+            }
+        }
+
+        // Per-block cache statistics also accumulate for non-offloaded
+        // instances so the §7.3 gate can observe locality either way.
+        if let Some((bid, InstrRole::Load)) = kernel.role_map[idx] {
+            env.note_block_lines(bid, n_lines, l1_hits);
+        }
+
+        let slot = self.slots[slot_idx].as_mut().expect("checked");
+        slot.exec.step(&kernel.program);
+        if remaining == 0 {
+            slot.reg_ready[dst.0 as usize] = now + self.cfg.l1_lat as Cycle;
+        } else {
+            slot.reg_ready[dst.0 as usize] = Cycle::MAX;
+            let inc = self.incarnation[slot_idx];
+            self.load_tracks.insert(
+                track_id,
+                LoadTrack {
+                    slot: slot_idx,
+                    inc,
+                    dst,
+                    remaining,
+                },
+            );
+        }
+        if kernel.role_map[idx].is_some() {
+            self.block_instrs += 1;
+        }
+        IssueResult::Issued
+    }
+
+    /// Baseline write-through store.
+    fn issue_local_store(
+        &mut self,
+        now: Cycle,
+        slot_idx: usize,
+        idx: usize,
+        accesses: Vec<LineAccess>,
+    ) -> IssueResult {
+        let kernel = Arc::clone(&self.kernel);
+        if self.out.len() + accesses.len() > self.cfg.out_capacity {
+            return IssueResult::ExecBusy;
+        }
+        for access in &accesses {
+            self.l1d.write_touch(access.line);
+            self.out.push_back(Packet::new(
+                Node::Sm(self.cfg.id),
+                Node::L2(self.memmap.hmc_of(access.line).0),
+                now,
+                PacketKind::WriteReq {
+                    addr: access.line,
+                    words: access.active_words(),
+                    tag: 0,
+                },
+            ));
+        }
+        let slot = self.slots[slot_idx].as_mut().expect("checked");
+        slot.exec.step(&kernel.program);
+        if kernel.role_map[idx].is_some() {
+            self.block_instrs += 1;
+        }
+        IssueResult::Issued
+    }
+
+    fn finish_warp(&mut self, slot_idx: usize) {
+        let slot = self.slots[slot_idx].take().expect("checked");
+        if let Some(alive) = self.cta_alive.get_mut(&slot.cta) {
+            *alive -= 1;
+            // Release barrier waiters if this warp's exit satisfies the CTA.
+            let cta = slot.cta;
+            let arrived = self.barrier_arrived.get(&cta).copied().unwrap_or(0);
+            if *alive > 0 && arrived >= *alive {
+                self.barrier_arrived.insert(cta, 0);
+                for s in self.slots.iter_mut().flatten() {
+                    if s.cta == cta && s.state == WState::Barrier {
+                        s.state = WState::Ready;
+                    }
+                }
+            }
+        }
+        self.warps_retired += 1;
+    }
+
+    /// Deliver an inbound packet (L1 fill or offload ACK).
+    pub fn deliver(&mut self, now: Cycle, p: Packet, env: &mut dyn NdpEnv) {
+        match p.kind {
+            PacketKind::ReadResp { addr, tag, .. } => {
+                let track_id = tag & 0xff_ffff_ffff;
+                let waiters = self.l1d.fill(addr);
+                debug_assert!(waiters.contains(&track_id) || waiters.is_empty());
+                for w in waiters {
+                    if let Some(t) = self.load_tracks.get_mut(&w) {
+                        t.remaining -= 1;
+                        if t.remaining == 0 {
+                            let (slot_idx, inc, dst) = (t.slot, t.inc, t.dst);
+                            self.load_tracks.remove(&w);
+                            if self.incarnation[slot_idx] == inc {
+                                if let Some(slot) = self.slots[slot_idx].as_mut() {
+                                    slot.reg_ready[dst.0 as usize] = now + 2;
+                                    slot.wake_at = 0;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            PacketKind::OffloadAck { token, .. } => {
+                let Some(inf) = self.inflight.remove(&token) else {
+                    return;
+                };
+                let b = self.kernel.block(inf.block);
+                env.note_block_done(inf.block, (b.end - b.start) as u32);
+                if let Some(slot) = self.slots[inf.slot].as_mut() {
+                    debug_assert_eq!(slot.state, WState::WaitAck);
+                    // Live-out registers become visible now.
+                    for r in &b.live_out {
+                        slot.reg_ready[r.0 as usize] = now + 2;
+                    }
+                    slot.ofl = None;
+                    slot.state = WState::Ready;
+                    slot.wake_at = 0;
+                }
+            }
+            other => panic!("SM cannot consume {other:?}"),
+        }
+    }
+
+    /// Occupied warp slots (for utilization reporting).
+    pub fn resident_warps(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Peak pending/ready buffer usage (§7.5).
+    pub fn buffer_peaks(&self) -> (usize, usize) {
+        (self.buffers.pending_peak, self.buffers.ready_peak)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum IssueResult {
+    Issued,
+    ExecBusy,
+    DepStall,
+    Idle,
+}
+
+/// Fix up a staged packet once the target NSU is known.
+fn retarget(p: &mut Packet, target: HmcId) {
+    match &mut p.kind {
+        PacketKind::OffloadCmd { .. } => p.dst = Node::Nsu(target.0),
+        PacketKind::Wta { target: t, .. } => {
+            *t = Node::Nsu(target.0);
+            p.dst = Node::Nsu(target.0);
+        }
+        PacketKind::Rdf { target: t, .. } => {
+            *t = Node::Nsu(target.0);
+            // dst (the vault) already set at generation.
+        }
+        PacketKind::RdfResp { .. } => p.dst = Node::Nsu(target.0),
+        _ => {}
+    }
+}
+
+/// Target-NSU policy: the stack with the most accesses from the first
+/// memory instruction (first one on ties) — §4.1.1 / Fig. 5.
+fn pick_target(accesses: &[LineAccess], memmap: &MemMap) -> HmcId {
+    let mut counts: HashMap<HmcId, (usize, usize)> = HashMap::new(); // hmc → (count, first_idx)
+    for (i, a) in accesses.iter().enumerate() {
+        let h = memmap.hmc_of(a.line);
+        let e = counts.entry(h).or_insert((0, i));
+        e.0 += 1;
+    }
+    counts
+        .into_iter()
+        .max_by(|(_, (c1, f1)), (_, (c2, f2))| c1.cmp(c2).then(f2.cmp(f1)))
+        .map(|(h, _)| h)
+        .expect("nonempty accesses")
+}
+
+fn ofl_block(slot: Option<&WarpSlot>) -> u16 {
+    slot.and_then(|s| s.ofl.as_ref()).map(|o| o.block).unwrap_or(0)
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ndp_compiler::{compile, CompilerConfig};
+    use ndp_isa::instr::{AluOp, Instr, Operand};
+    use ndp_isa::program::{Item, Program, TripCount};
+
+    /// Test double for the offload controller.
+    struct MockEnv {
+        offload: bool,
+        reserve: bool,
+        lines: Vec<(u16, u32, u32)>,
+        done: Vec<(u16, u32)>,
+        wta: Vec<HmcId>,
+    }
+
+    impl MockEnv {
+        fn new(offload: bool) -> Self {
+            MockEnv {
+                offload,
+                reserve: true,
+                lines: vec![],
+                done: vec![],
+                wta: vec![],
+            }
+        }
+    }
+
+    impl NdpEnv for MockEnv {
+        fn decide_offload(&mut self, _sm: u16, _block: u16) -> bool {
+            self.offload
+        }
+        fn try_reserve(&mut self, _hmc: HmcId, _l: usize, _s: usize) -> bool {
+            self.reserve
+        }
+        fn note_block_lines(&mut self, b: u16, l: u32, h: u32) {
+            self.lines.push((b, l, h));
+        }
+        fn note_block_done(&mut self, b: u16, i: u32) {
+            self.done.push((b, i));
+        }
+        fn note_wta_line(&mut self, h: HmcId) {
+            self.wta.push(h);
+        }
+    }
+
+    /// `out[tid] = a[tid] * a[tid]` — one 3-instruction offload block.
+    fn tiny_kernel() -> Program {
+        let mut p = Program::new("t", 4);
+        let t = |r: u8| Operand::Reg(Reg(r));
+        p.items = vec![
+            Item::Op(Instr::alu3(
+                AluOp::IMad,
+                Reg(1),
+                Operand::Tid,
+                Operand::Imm(4),
+                Operand::Imm(0x10_0000),
+            )),
+            Item::Op(Instr::ld(Reg(2), Reg(1))),
+            Item::Op(Instr::alu(AluOp::FMul, Reg(3), t(2), t(2))),
+            Item::Op(Instr::alu3(
+                AluOp::IMad,
+                Reg(4),
+                Operand::Tid,
+                Operand::Imm(4),
+                Operand::Imm(0x20_0000),
+            )),
+            Item::Op(Instr::st(Reg(3), Reg(4))),
+        ];
+        p
+    }
+
+    fn mk_sm(program: &Program) -> Sm {
+        let sys = SystemConfig::default();
+        let kernel = Arc::new(compile(program, &CompilerConfig::default()));
+        Sm::new(SmConfig::from_system(0, &sys), &sys, kernel)
+    }
+
+    #[test]
+    fn baseline_load_goes_through_l1_and_misses() {
+        let p = tiny_kernel();
+        let mut sm = mk_sm(&p);
+        let mut env = MockEnv::new(false);
+        sm.assign_warp(0, u32::MAX, 0);
+        for now in 0..20 {
+            sm.tick(now, &mut env);
+        }
+        // The unit-stride load coalesces to one line and misses the cold L1.
+        let reads: Vec<&Packet> = sm
+            .out
+            .iter()
+            .filter(|p| matches!(p.kind, PacketKind::ReadReq { .. }))
+            .collect();
+        assert_eq!(reads.len(), 1);
+        assert_eq!(sm.l1_stats().read_misses, 1);
+        // Block stats accumulate even without offloading (§7.3 parity).
+        assert_eq!(env.lines, vec![(0, 1, 0)]);
+    }
+
+    #[test]
+    fn baseline_warp_completes_after_fill() {
+        let p = tiny_kernel();
+        let mut sm = mk_sm(&p);
+        let mut env = MockEnv::new(false);
+        sm.assign_warp(0, u32::MAX, 0);
+        let mut fill_sent = false;
+        for now in 0..400 {
+            sm.tick(now, &mut env);
+            if !fill_sent {
+                if let Some(req) = sm.out.pop_front() {
+                    if let PacketKind::ReadReq { addr, tag, .. } = req.kind {
+                        sm.deliver(
+                            now,
+                            Packet::new(
+                                Node::L2(0),
+                                Node::Sm(0),
+                                now,
+                                PacketKind::ReadResp {
+                                    addr,
+                                    bytes: 128,
+                                    tag,
+                                },
+                            ),
+                            &mut env,
+                        );
+                        fill_sent = true;
+                    }
+                }
+            }
+        }
+        assert_eq!(sm.warps_retired, 1);
+        assert_eq!(env.done, vec![(0, 5)], "block completion reported");
+        // The store left as a write-through packet.
+        assert!(sm
+            .out
+            .iter()
+            .any(|p| matches!(p.kind, PacketKind::WriteReq { .. })));
+    }
+
+    #[test]
+    fn offloaded_block_emits_cmd_rdf_wta_and_blocks() {
+        let p = tiny_kernel();
+        let mut sm = mk_sm(&p);
+        let mut env = MockEnv::new(true);
+        sm.assign_warp(0, u32::MAX, 0);
+        for now in 0..100 {
+            sm.tick(now, &mut env);
+        }
+        let kinds: Vec<usize> = sm.out.iter().map(|p| p.kind_index()).collect();
+        // CMD(4), RDF(5), WTA(7) — in protocol order.
+        assert_eq!(kinds, vec![4, 5, 7], "{kinds:?}");
+        assert_eq!(env.wta.len(), 1, "one WTA line registered");
+        assert_eq!(sm.warps_retired, 0, "warp blocked at OFLD.END");
+        assert!(!sm.is_done());
+        // The ACK releases it.
+        let token = match sm.out[0].kind {
+            PacketKind::OffloadCmd { token, .. } => token,
+            ref other => panic!("{other:?}"),
+        };
+        sm.deliver(
+            100,
+            Packet::new(
+                Node::Nsu(0),
+                Node::Sm(0),
+                100,
+                PacketKind::OffloadAck {
+                    token,
+                    id: OffloadId {
+                        sm: 0,
+                        warp: 0,
+                        seq: 0,
+                    },
+                    regs_out: 0,
+                    active: 32,
+                    values: vec![],
+                },
+            ),
+            &mut env,
+        );
+        for now in 101..160 {
+            sm.tick(now, &mut env);
+        }
+        assert_eq!(sm.warps_retired, 1);
+        assert_eq!(env.done, vec![(0, 5)], "whole block range counted");
+    }
+
+    #[test]
+    fn reservation_denial_keeps_packets_staged() {
+        let p = tiny_kernel();
+        let mut sm = mk_sm(&p);
+        let mut env = MockEnv::new(true);
+        env.reserve = false;
+        sm.assign_warp(0, u32::MAX, 0);
+        for now in 0..100 {
+            sm.tick(now, &mut env);
+        }
+        assert!(sm.out.is_empty(), "no credits ⇒ nothing leaves the SM");
+        // Granting credits releases the stream.
+        env.reserve = true;
+        for now in 100..200 {
+            sm.tick(now, &mut env);
+        }
+        assert_eq!(sm.out.len(), 3, "CMD + RDF + WTA after grant");
+    }
+
+    #[test]
+    fn barrier_synchronizes_cta() {
+        let mut p = Program::new("bar", 2);
+        p.items = vec![
+            Item::Op(Instr::mov(Reg(0), Operand::Tid)),
+            Item::LoopBegin(TripCount::PerWarp { base: 1, spread: 8 }),
+            Item::Op(Instr::alu(
+                AluOp::IAdd,
+                Reg(0),
+                Operand::Reg(Reg(0)),
+                Operand::Imm(1),
+            )),
+            Item::LoopEnd,
+            Item::Bar,
+            Item::Op(Instr::mov(Reg(1), Operand::Imm(7))),
+        ];
+        let mut sm = mk_sm(&p);
+        let mut env = MockEnv::new(false);
+        sm.assign_warp(0, u32::MAX, 0);
+        sm.assign_warp(1, u32::MAX, 0);
+        for now in 0..200 {
+            sm.tick(now, &mut env);
+        }
+        assert_eq!(sm.warps_retired, 2, "both warps pass the barrier");
+    }
+
+    #[test]
+    fn no_issue_cycles_attributed() {
+        let p = tiny_kernel();
+        let mut sm = mk_sm(&p);
+        let mut env = MockEnv::new(false);
+        sm.assign_warp(0, u32::MAX, 0);
+        for now in 0..100 {
+            sm.tick(now, &mut env);
+        }
+        // The warp is stalled on its outstanding load most of the time.
+        assert!(sm.stats.dependency_stall > 0);
+        assert!(sm.stats.issued >= 2);
+    }
+
+    #[test]
+    fn empty_sm_counts_warp_idle() {
+        let p = tiny_kernel();
+        let mut sm = mk_sm(&p);
+        let mut env = MockEnv::new(false);
+        for now in 0..10 {
+            sm.tick(now, &mut env);
+        }
+        assert_eq!(sm.stats.warp_idle, 10);
+        assert!(sm.is_done());
+    }
+
+    #[test]
+    fn divergent_rdf_fans_out_per_line() {
+        // One load with a data-dependent divergent address pattern.
+        let mut p = Program::new("gather", 1);
+        p.items = vec![
+            Item::Op(Instr::alu3(
+                AluOp::IMad,
+                Reg(1),
+                Operand::Tid,
+                Operand::Imm(4),
+                Operand::Imm(0x10_0000),
+            )),
+            Item::Op(Instr::ld(Reg(2), Reg(1))), // direct
+            Item::Op(Instr::alu(
+                AluOp::And,
+                Reg(3),
+                Operand::Reg(Reg(2)),
+                Operand::Imm(0xffff),
+            )),
+            Item::Op(Instr::alu3(
+                AluOp::IMad,
+                Reg(4),
+                Operand::Reg(Reg(3)),
+                Operand::Imm(4),
+                Operand::Imm(0x20_0000),
+            )),
+            Item::Op(Instr::ld(Reg(5), Reg(4))), // indirect → §4.4 block
+            Item::Op(Instr::st(Reg(5), Reg(1))),
+        ];
+        let kernel = compile(&p, &CompilerConfig::default());
+        assert!(kernel.blocks.iter().any(|b| b.indirect));
+        let sys = SystemConfig::default();
+        let mut sm = Sm::new(SmConfig::from_system(0, &sys), &sys, Arc::new(kernel));
+        let mut env = MockEnv::new(true);
+        sm.assign_warp(0, u32::MAX, 0);
+        // Serve the direct load so the gather's address materializes.
+        for now in 0..600 {
+            sm.tick(now, &mut env);
+            let fills: Vec<(u64, u64)> = sm
+                .out
+                .iter()
+                .filter_map(|p| match p.kind {
+                    PacketKind::ReadReq { addr, tag, .. } => Some((addr, tag)),
+                    _ => None,
+                })
+                .collect();
+            sm.out.retain(|p| !matches!(p.kind, PacketKind::ReadReq { .. }));
+            for (addr, tag) in fills {
+                sm.deliver(
+                    now,
+                    Packet::new(
+                        Node::L2(0),
+                        Node::Sm(0),
+                        now,
+                        PacketKind::ReadResp {
+                            addr,
+                            bytes: 128,
+                            tag,
+                        },
+                    ),
+                    &mut env,
+                );
+            }
+        }
+        let rdf_count = sm
+            .out
+            .iter()
+            .filter(|p| matches!(p.kind, PacketKind::Rdf { .. }))
+            .count();
+        assert!(
+            rdf_count > 8,
+            "divergent gather should fan out to many lines, got {rdf_count}"
+        );
+    }
+
+    #[test]
+    fn pick_target_prefers_most_accessed_stack() {
+        let sys = SystemConfig::default();
+        let mm = MemMap::new(&sys);
+        // Construct accesses: 1 line on some stack A, 2 lines on stack B.
+        let mut lines_by_hmc: HashMap<u8, Vec<u64>> = HashMap::new();
+        for i in 0..4096u64 {
+            let line = i * 128;
+            lines_by_hmc.entry(mm.hmc_of(line).0).or_default().push(line);
+        }
+        let (&a, la) = lines_by_hmc.iter().next().expect("nonempty");
+        let (&b, lb) = lines_by_hmc.iter().find(|(h, v)| **h != a && v.len() >= 2).expect("two stacks");
+        let acc = |line: u64| LineAccess {
+            line,
+            lanes: vec![(0, line)],
+            misaligned: false,
+        };
+        let accesses = vec![acc(la[0]), acc(lb[0]), acc(lb[1])];
+        assert_eq!(pick_target(&accesses, &mm), HmcId(b));
+        // Tie → first access wins.
+        let accesses = vec![acc(la[0]), acc(lb[0])];
+        assert_eq!(pick_target(&accesses, &mm), HmcId(a));
+    }
+}

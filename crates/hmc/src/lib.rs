@@ -1,0 +1,11 @@
+//! HMC-like 3D-stacked memory device (Table 2: 8 layers × 16 vaults,
+//! 16 banks/vault, FR-FCFS vault controllers, packetized I/O).
+//!
+//! The stack's logic layer routes packets between its I/O ports (one GPU
+//! link + three memory-network links), its 16 vault controllers, and the
+//! NSU. The vault controllers run in the DRAM clock domain (tCK = 1.5 ns);
+//! this crate owns the SM-cycle ⇄ DRAM-cycle conversion.
+
+pub mod stack;
+
+pub use stack::HmcStack;

@@ -1,0 +1,455 @@
+//! One memory stack: vaults + logic-layer crossbar + port queues.
+
+use std::collections::VecDeque;
+
+use ndp_common::config::SystemConfig;
+use ndp_common::ids::{Cycle, HmcId, Node};
+use ndp_common::memmap::MemMap;
+use ndp_common::packet::{Packet, PacketKind};
+use ndp_common::stats::DramStats;
+use ndp_dram::{VaultController, VaultRequest};
+
+/// One HMC stack.
+pub struct HmcStack {
+    pub id: HmcId,
+    vaults: Vec<VaultController<Packet>>,
+    /// Packets routed to a vault whose queue was full.
+    vault_pending: Vec<VecDeque<Packet>>,
+    /// Outputs drained by the system each cycle.
+    pub to_gpu: VecDeque<Packet>,
+    pub to_nsu: VecDeque<Packet>,
+    pub to_memnet: VecDeque<Packet>,
+    memmap: MemMap,
+    line_bytes: u32,
+    burst_bytes: u32,
+    /// Exact clock-domain crossing in units of (1 ps / SM-clock-MHz): one
+    /// SM cycle adds 1e6 such units; one DRAM cycle is `tck_ps × MHz`.
+    sm_period_units: u64,
+    tck_units: u64,
+    acc_units: u64,
+    /// Current DRAM-domain cycle (public for clock-crossing tests).
+    pub dram_now: u64,
+    /// Bytes moved across the logic-layer crossbar (Fig. 10 "Intra-HMC NoC"
+    /// energy domain).
+    pub intra_bytes: u64,
+}
+
+impl HmcStack {
+    pub fn new(id: HmcId, cfg: &SystemConfig) -> Self {
+        let vaults = (0..cfg.hmc.vaults_per_hmc)
+            .map(|_| VaultController::new(&cfg.hmc))
+            .collect();
+        HmcStack {
+            id,
+            vaults,
+            vault_pending: (0..cfg.hmc.vaults_per_hmc).map(|_| VecDeque::new()).collect(),
+            to_gpu: VecDeque::new(),
+            to_nsu: VecDeque::new(),
+            to_memnet: VecDeque::new(),
+            memmap: MemMap::new(cfg),
+            line_bytes: cfg.gpu.line_bytes as u32,
+            burst_bytes: cfg.hmc.burst_bytes as u32,
+            sm_period_units: 1_000_000,
+            tck_units: cfg.hmc.timing.tck_ps * cfg.gpu.sm_clock_mhz as u64,
+            acc_units: 0,
+            dram_now: 0,
+            intra_bytes: 0,
+        }
+    }
+
+    /// Accept a packet arriving at this stack (from the GPU link or the
+    /// memory network) and route it on the logic layer.
+    pub fn accept(&mut self, p: Packet) {
+        self.intra_bytes += p.size as u64;
+        match p.dst {
+            Node::Vault(h, v) if h == self.id.0 => {
+                self.vault_pending[v as usize].push_back(p);
+            }
+            Node::Nsu(h) if h == self.id.0 => self.to_nsu.push_back(p),
+            Node::Sm(_) | Node::L2(_) | Node::BufMgr => self.to_gpu.push_back(p),
+            // Anything for another stack continues over the memory network.
+            Node::Vault(_, _) | Node::Nsu(_) | Node::Hmc(_) => self.to_memnet.push_back(p),
+        }
+    }
+
+    /// DRAM bytes a packet's vault access moves: baseline fills whole lines;
+    /// RDF reads only the bursts covering the accessed words (§4.4); writes
+    /// touch the written words rounded to bursts.
+    fn access_bytes(&self, p: &Packet) -> u32 {
+        let round = |b: u32| b.div_ceil(self.burst_bytes).max(1) * self.burst_bytes;
+        match &p.kind {
+            PacketKind::ReadReq { bytes, .. } => round(*bytes),
+            PacketKind::Rdf { access, .. } => {
+                round((access.active_words() * 4).min(self.line_bytes))
+            }
+            PacketKind::WriteReq { words, .. } => round(words * 4),
+            PacketKind::NsuWrite { words, .. } => round(words * 4),
+            other => panic!("not a vault access: {other:?}"),
+        }
+    }
+
+    fn is_write(p: &Packet) -> bool {
+        matches!(
+            p.kind,
+            PacketKind::WriteReq { .. } | PacketKind::NsuWrite { .. }
+        )
+    }
+
+    fn vault_addr(p: &Packet) -> u64 {
+        match &p.kind {
+            PacketKind::ReadReq { addr, .. }
+            | PacketKind::WriteReq { addr, .. }
+            | PacketKind::NsuWrite { addr, .. } => *addr,
+            PacketKind::Rdf { access, .. } => access.line,
+            other => panic!("not a vault access: {other:?}"),
+        }
+    }
+
+    /// Advance one SM cycle.
+    pub fn tick(&mut self, now: Cycle) {
+        // 1. Move pending packets into vault queues.
+        for v in 0..self.vaults.len() {
+            while let Some(front) = self.vault_pending[v].front() {
+                if !self.vaults[v].can_accept() {
+                    break;
+                }
+                let bytes = self.access_bytes(front);
+                let addr = Self::vault_addr(front);
+                let coord = self.memmap.decode(addr);
+                debug_assert_eq!(coord.hmc, self.id, "page map routed to wrong stack");
+                debug_assert_eq!(coord.vault.0 as usize, v, "vault mis-route");
+                let p = self.vault_pending[v].pop_front().expect("front exists");
+                let is_write = Self::is_write(&p);
+                self.vaults[v]
+                    .push(VaultRequest {
+                        bank: coord.bank,
+                        row: coord.row,
+                        bytes,
+                        is_write,
+                        payload: p,
+                    })
+                    .ok()
+                    .expect("checked can_accept");
+            }
+        }
+
+        // 2. Clock-domain crossing: run DRAM cycles that fit in this SM
+        //    cycle (700 MHz SM vs 666 MHz DRAM ⇒ mostly 1:1 with skips).
+        self.acc_units += self.sm_period_units;
+        while self.acc_units >= self.tck_units {
+            self.acc_units -= self.tck_units;
+            let dn = self.dram_now;
+            for v in self.vaults.iter_mut() {
+                v.tick(dn);
+            }
+            self.dram_now += 1;
+        }
+
+        // 3. Drain completions and synthesize responses.
+        for v in 0..self.vaults.len() {
+            let dn = self.dram_now;
+            while let Some(done) = self.vaults[v].pop_done(dn) {
+                self.respond(now, v as u8, done.payload);
+            }
+        }
+    }
+
+    /// Build and route the response(s) for a completed vault access.
+    fn respond(&mut self, now: Cycle, vault: u8, p: Packet) {
+        let src = Node::Vault(self.id.0, vault);
+        match p.kind {
+            PacketKind::ReadReq { addr, bytes, tag, .. } => {
+                let resp = Packet::new(src, p.src, now, PacketKind::ReadResp { addr, bytes, tag });
+                self.route_out(resp);
+            }
+            PacketKind::WriteReq { addr, tag, .. } => {
+                let ack = Packet::new(src, p.src, now, PacketKind::WriteAck { addr, tag });
+                self.route_out(ack);
+            }
+            PacketKind::Rdf {
+                token,
+                seq,
+                access,
+                target,
+                ..
+            } => {
+                let resp = Packet::new(src, target, now, PacketKind::RdfResp { token, seq, access });
+                self.route_out(resp);
+            }
+            PacketKind::NsuWrite { token, addr, .. } => {
+                // Ack to the NSU that issued the write...
+                let ack = Packet::new(src, p.src, now, PacketKind::NsuWriteAck { token });
+                self.route_out(ack);
+                // ...and a cache invalidation to the GPU (§4.2). The L2
+                // slice for this address is the one fronting this stack.
+                let inval = Packet::new(
+                    src,
+                    Node::L2(self.id.0),
+                    now,
+                    PacketKind::CacheInval { addr },
+                );
+                self.route_out(inval);
+            }
+            other => panic!("vault completed non-memory packet {other:?}"),
+        }
+    }
+
+    fn route_out(&mut self, p: Packet) {
+        self.intra_bytes += p.size as u64;
+        match p.dst {
+            Node::Nsu(h) if h == self.id.0 => self.to_nsu.push_back(p),
+            Node::Sm(_) | Node::L2(_) | Node::BufMgr => self.to_gpu.push_back(p),
+            _ => self.to_memnet.push_back(p),
+        }
+    }
+
+    /// Aggregate DRAM activity across vaults.
+    pub fn dram_stats(&self) -> DramStats {
+        let mut s = DramStats::default();
+        for v in &self.vaults {
+            s.merge(&v.stats);
+        }
+        s
+    }
+
+    /// Outstanding work anywhere in the stack.
+    pub fn busy(&self) -> bool {
+        self.vaults.iter().any(|v| v.busy())
+            || self.vault_pending.iter().any(|q| !q.is_empty())
+            || !self.to_gpu.is_empty()
+            || !self.to_nsu.is_empty()
+            || !self.to_memnet.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ndp_common::ids::OffloadToken;
+    use ndp_common::packet::LineAccess;
+
+    fn cfg() -> SystemConfig {
+        SystemConfig::default()
+    }
+
+    /// Find an address mapping to stack `h`, vault `v` under the config's
+    /// page map.
+    fn addr_for(cfg: &SystemConfig, h: u8, v: u8) -> u64 {
+        let mm = MemMap::new(cfg);
+        for page in 0..100_000u64 {
+            let base = page * cfg.page_bytes;
+            if mm.hmc_of(base).0 == h {
+                for line in 0..(cfg.page_bytes / 128) {
+                    let a = base + line * 128;
+                    if mm.vault_of(a).0 == v {
+                        return a;
+                    }
+                }
+            }
+        }
+        panic!("no address found for hmc {h} vault {v}");
+    }
+
+    fn run(stack: &mut HmcStack, cycles: Cycle) {
+        for now in 0..cycles {
+            stack.tick(now);
+        }
+    }
+
+    #[test]
+    fn read_request_produces_response_to_gpu() {
+        let c = cfg();
+        let mut s = HmcStack::new(HmcId(2), &c);
+        let addr = addr_for(&c, 2, 3);
+        s.accept(Packet::new(
+            Node::L2(2),
+            Node::Vault(2, 3),
+            0,
+            PacketKind::ReadReq {
+                addr,
+                bytes: 128,
+                tag: 77,
+                block: ndp_common::packet::NO_BLOCK,
+            },
+        ));
+        run(&mut s, 200);
+        assert_eq!(s.to_gpu.len(), 1);
+        let resp = s.to_gpu.pop_front().unwrap();
+        match resp.kind {
+            PacketKind::ReadResp { addr: a, bytes, tag } => {
+                assert_eq!((a, bytes, tag), (addr, 128, 77));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(!s.busy());
+        assert_eq!(s.dram_stats().read_bytes, 128);
+    }
+
+    #[test]
+    fn rdf_response_goes_to_local_nsu() {
+        let c = cfg();
+        let mut s = HmcStack::new(HmcId(1), &c);
+        let addr = addr_for(&c, 1, 0);
+        let access = LineAccess {
+            line: addr,
+            lanes: vec![(0, addr), (1, addr + 4)],
+            misaligned: false,
+        };
+        s.accept(Packet::new(
+            Node::Sm(0),
+            Node::Vault(1, 0),
+            0,
+            PacketKind::Rdf {
+                token: OffloadToken(9),
+                seq: 0,
+                access,
+                target: Node::Nsu(1),
+                block: 0,
+                cache_hit_data: false,
+            },
+        ));
+        run(&mut s, 200);
+        assert_eq!(s.to_nsu.len(), 1);
+        let resp = s.to_nsu.pop_front().unwrap();
+        assert!(matches!(resp.kind, PacketKind::RdfResp { token: OffloadToken(9), .. }));
+        // Only 2 active words ⇒ a single 32 B burst read, not 128 B (§4.4).
+        assert_eq!(s.dram_stats().read_bytes, 32);
+    }
+
+    #[test]
+    fn rdf_response_for_remote_nsu_enters_memnet() {
+        let c = cfg();
+        let mut s = HmcStack::new(HmcId(1), &c);
+        let addr = addr_for(&c, 1, 5);
+        let access = LineAccess {
+            line: addr,
+            lanes: (0..32).map(|l| (l, addr + 4 * l as u64)).collect(),
+            misaligned: false,
+        };
+        s.accept(Packet::new(
+            Node::Sm(3),
+            Node::Vault(1, 5),
+            0,
+            PacketKind::Rdf {
+                token: OffloadToken(1),
+                seq: 0,
+                access,
+                target: Node::Nsu(6),
+                block: 0,
+                cache_hit_data: false,
+            },
+        ));
+        run(&mut s, 200);
+        assert_eq!(s.to_memnet.len(), 1);
+        assert_eq!(s.to_memnet[0].dst, Node::Nsu(6));
+    }
+
+    #[test]
+    fn nsu_write_acks_and_invalidates() {
+        let c = cfg();
+        let mut s = HmcStack::new(HmcId(4), &c);
+        let addr = addr_for(&c, 4, 2);
+        s.accept(Packet::new(
+            Node::Nsu(4),
+            Node::Vault(4, 2),
+            0,
+            PacketKind::NsuWrite {
+                token: OffloadToken(5),
+                addr,
+                words: 32,
+            },
+        ));
+        run(&mut s, 300);
+        assert_eq!(s.to_nsu.len(), 1, "write ack to local NSU");
+        assert!(matches!(
+            s.to_nsu[0].kind,
+            PacketKind::NsuWriteAck { token: OffloadToken(5) }
+        ));
+        assert_eq!(s.to_gpu.len(), 1, "cache invalidation to GPU");
+        assert!(matches!(s.to_gpu[0].kind, PacketKind::CacheInval { .. }));
+        assert_eq!(s.to_gpu[0].dst, Node::L2(4));
+        assert_eq!(s.dram_stats().write_bytes, 128);
+    }
+
+    #[test]
+    fn foreign_packets_forwarded_to_memnet() {
+        let c = cfg();
+        let mut s = HmcStack::new(HmcId(0), &c);
+        s.accept(Packet::new(
+            Node::Nsu(0),
+            Node::Vault(3, 1),
+            0,
+            PacketKind::NsuWrite {
+                token: OffloadToken(1),
+                addr: 0,
+                words: 1,
+            },
+        ));
+        assert_eq!(s.to_memnet.len(), 1);
+    }
+
+    #[test]
+    fn dram_clock_crossing_ratio() {
+        // 700 MHz SM (1428.57 ps) vs 666 MHz DRAM (1500 ps): after N SM
+        // cycles the DRAM must have advanced ≈ N × 1428.57/1500 cycles.
+        let c = cfg();
+        let mut s = HmcStack::new(HmcId(0), &c);
+        let n = 21_000u64; // lcm-ish horizon
+        for now in 0..n {
+            s.tick(now);
+        }
+        // Exact rational crossing: 21000 SM cycles × (1e6 / (1500×700)).
+        let expect = (n as u128 * 1_000_000 / (1500 * 700)) as i64;
+        let got = s.dram_now as i64;
+        assert!(
+            (got - expect).abs() <= 1,
+            "DRAM clock drifted: {got} vs {expect}"
+        );
+    }
+
+    #[test]
+    fn intra_hmc_traffic_accumulates_both_ways() {
+        let c = cfg();
+        let mut s = HmcStack::new(HmcId(2), &c);
+        let addr = addr_for(&c, 2, 3);
+        let req = Packet::new(
+            Node::L2(2),
+            Node::Vault(2, 3),
+            0,
+            PacketKind::ReadReq {
+                addr,
+                bytes: 128,
+                tag: 1,
+                block: ndp_common::packet::NO_BLOCK,
+            },
+        );
+        let req_size = req.size as u64;
+        s.accept(req);
+        run(&mut s, 200);
+        let resp_size = s.to_gpu[0].size as u64;
+        assert_eq!(s.intra_bytes, req_size + resp_size);
+    }
+
+    #[test]
+    fn vault_backpressure_queues_excess() {
+        let c = cfg();
+        let mut s = HmcStack::new(HmcId(0), &c);
+        let addr = addr_for(&c, 0, 0);
+        // 80 requests to one vault (queue holds 64).
+        for i in 0..80u64 {
+            s.accept(Packet::new(
+                Node::L2(0),
+                Node::Vault(0, 0),
+                0,
+                PacketKind::ReadReq {
+                    addr,
+                    bytes: 128,
+                    tag: i,
+                    block: ndp_common::packet::NO_BLOCK,
+                },
+            ));
+        }
+        run(&mut s, 5000);
+        assert_eq!(s.to_gpu.len(), 80, "all eventually served");
+    }
+}

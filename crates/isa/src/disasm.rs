@@ -1,0 +1,184 @@
+//! Disassembler producing Fig. 3-style listings of GPU and NSU code.
+
+use std::fmt::Write as _;
+
+use crate::instr::Instr;
+use crate::offload::{InstrRole, NsuInstr, OffloadBlock};
+use crate::program::{Item, Program};
+
+fn fmt_instr(i: &Instr) -> String {
+    match i {
+        Instr::Alu { op, dst, a, b, c } => {
+            let mut s = format!("{} {dst}, {a}", op.mnemonic());
+            if op.arity() >= 2 {
+                let _ = write!(s, ", {b}");
+            }
+            if let Some(c) = c {
+                let _ = write!(s, ", {c}");
+            }
+            s
+        }
+        Instr::Ld { dst, space, addr } => format!("LD{} {dst}, [{addr}]", space_suffix(*space)),
+        Instr::St { val, space, addr } => format!("ST{} [{addr}], {val}", space_suffix(*space)),
+    }
+}
+
+fn space_suffix(s: crate::instr::MemSpace) -> &'static str {
+    match s {
+        crate::instr::MemSpace::Global => "",
+        crate::instr::MemSpace::Shared => ".SHARED",
+        crate::instr::MemSpace::Const => ".CONST",
+    }
+}
+
+/// Render the GPU-side listing of a program with offload-block annotations,
+/// in the style of Fig. 3(a).
+pub fn disasm_gpu(program: &Program, blocks: &[OffloadBlock]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "// kernel {} (GPU code)", program.name);
+    let mut depth = 0usize;
+    for (idx, item) in program.items.iter().enumerate() {
+        // Emit OFLD.BEG before the first instruction of a block.
+        for b in blocks {
+            if b.start == idx {
+                let _ = writeln!(
+                    out,
+                    "{:ind$}OFLD.BEG 0x{:X}, [{}], {}, {}  // PC, SendRegs, #LDs, #STs",
+                    "",
+                    b.nsu_pc,
+                    regs_list(&b.live_in),
+                    b.n_loads(),
+                    b.n_stores(),
+                    ind = depth * 2
+                );
+            }
+        }
+        match item {
+            Item::LoopBegin(t) => {
+                let _ = writeln!(out, "{:ind$}LOOP {:?} {{", "", t, ind = depth * 2);
+                depth += 1;
+            }
+            Item::LoopEnd => {
+                depth = depth.saturating_sub(1);
+                let _ = writeln!(out, "{:ind$}}}", "", ind = depth * 2);
+            }
+            Item::Bar => {
+                let _ = writeln!(out, "{:ind$}BAR.SYNC", "", ind = depth * 2);
+            }
+            Item::Op(instr) => {
+                let role = blocks.iter().find_map(|b| b.role_of(idx));
+                let annot = match role {
+                    Some(InstrRole::AtNsu) => "@NSU  // skipped on GPU",
+                    Some(InstrRole::AddrCalc) => "      // memory address calculation",
+                    Some(InstrRole::Load) => "      // generates RDF packet(s)",
+                    Some(InstrRole::Store) => "      // generates WTA packet(s)",
+                    None => "",
+                };
+                let _ = writeln!(
+                    out,
+                    "{:ind$}{} {}",
+                    "",
+                    fmt_instr(instr),
+                    annot,
+                    ind = depth * 2
+                );
+            }
+        }
+        // Emit OFLD.END after the last instruction of a block.
+        for b in blocks {
+            if b.end == idx + 1 {
+                let _ = writeln!(
+                    out,
+                    "{:ind$}OFLD.END [{}]  // write-back from ACK packet",
+                    "",
+                    regs_list(&b.live_out),
+                    ind = depth * 2
+                );
+            }
+        }
+    }
+    out
+}
+
+/// Render the NSU code of one block, in the style of Fig. 3(b).
+pub fn disasm_nsu(block: &OffloadBlock) -> String {
+    let mut out = String::new();
+    let mut pc = block.nsu_pc;
+    for instr in &block.nsu_code {
+        let text = match instr {
+            NsuInstr::Begin { regs_in } => {
+                format!("OFLD.BEG ({regs_in} regs)  // init regs from CMD packet")
+            }
+            NsuInstr::Ld { dst } => format!("LD {dst}  // from read data buffer"),
+            NsuInstr::St { src } => {
+                format!("ST {src}  // to memory, addr from WTA buffer")
+            }
+            NsuInstr::Alu(i) => fmt_instr(i),
+            NsuInstr::End { regs_out } => {
+                format!("OFLD.END ({regs_out} regs)  // send ACK to GPU")
+            }
+        };
+        let _ = writeln!(out, "0x{pc:X}: {text}");
+        pc += 8;
+    }
+    out
+}
+
+fn regs_list(regs: &[crate::instr::Reg]) -> String {
+    regs.iter()
+        .map(|r| r.to_string())
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::{AluOp, Operand, Reg};
+
+    #[test]
+    fn gpu_listing_contains_markers() {
+        let mut p = Program::new("vadd", 1);
+        p.items = vec![
+            Item::Op(Instr::mov(Reg(1), Operand::Tid)),
+            Item::Op(Instr::ld(Reg(2), Reg(1))),
+            Item::Op(Instr::alu(
+                AluOp::FMul,
+                Reg(3),
+                Operand::Reg(Reg(2)),
+                Operand::Reg(Reg(0)),
+            )),
+            Item::Op(Instr::st(Reg(3), Reg(1))),
+        ];
+        let b = OffloadBlock {
+            id: 0,
+            start: 1,
+            end: 4,
+            roles: vec![InstrRole::Load, InstrRole::AtNsu, InstrRole::Store],
+            live_in: vec![Reg(0)],
+            live_out: vec![],
+            nsu_code: vec![
+                NsuInstr::Begin { regs_in: 1 },
+                NsuInstr::Ld { dst: Reg(2) },
+                NsuInstr::Alu(Instr::alu(
+                    AluOp::FMul,
+                    Reg(3),
+                    Operand::Reg(Reg(2)),
+                    Operand::Reg(Reg(0)),
+                )),
+                NsuInstr::St { src: Reg(3) },
+                NsuInstr::End { regs_out: 0 },
+            ],
+            nsu_pc: 0xD08,
+            score: 1,
+            indirect: false,
+        };
+        let text = disasm_gpu(&p, &[b.clone()]);
+        assert!(text.contains("OFLD.BEG 0xD08"), "{text}");
+        assert!(text.contains("OFLD.END"), "{text}");
+        assert!(text.contains("@NSU"), "{text}");
+        let nsu = disasm_nsu(&b);
+        assert!(nsu.contains("0xD08: OFLD.BEG"), "{nsu}");
+        assert!(nsu.contains("read data buffer"), "{nsu}");
+    }
+}

@@ -1,0 +1,178 @@
+//! Offload-block descriptors and the NSU-side instruction stream.
+//!
+//! An offload block (§3) is a contiguous instruction range within one basic
+//! block. The compiler classifies every instruction in the range into the
+//! partitioned-execution roles of §4.1: address-calculation ALU ops stay on
+//! the GPU, other ALU ops are marked `@NSU` (NOP on the GPU), loads/stores
+//! generate RDF/WTA packets on the GPU and consume NDP buffers on the NSU.
+
+use crate::instr::{AluOp, Instr, Reg};
+
+/// Role of an instruction inside an offload block under partitioned
+/// execution (§4.1.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InstrRole {
+    /// ALU op in the backward slice of a memory address: executed on the
+    /// GPU, removed from the NSU code.
+    AddrCalc,
+    /// ALU op on memory data: `@NSU` — skipped on the GPU, executed on the
+    /// NSU.
+    AtNsu,
+    /// Load: GPU generates RDF packets; NSU pops the read data buffer.
+    Load,
+    /// Store: GPU generates WTA packets; NSU generates the DRAM writes.
+    Store,
+}
+
+/// One instruction of the NSU code generated for an offload block
+/// (Fig. 3(b)). The NSU ISA is the paper's "standardized" target: loads and
+/// stores carry no address — data and addresses come from the NDP buffers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NsuInstr {
+    /// `OFLD.BEG`: initialize `regs_in` registers from the command packet.
+    Begin { regs_in: u8 },
+    /// Load from the read data buffer into `dst`.
+    Ld { dst: Reg },
+    /// Write `src` to memory using the next write-address buffer entry.
+    St { src: Reg },
+    /// Translated ALU instruction.
+    Alu(Instr),
+    /// `OFLD.END`: send `regs_out` registers back in the ACK packet.
+    End { regs_out: u8 },
+}
+
+/// A compiled offload block.
+#[derive(Debug, Clone)]
+pub struct OffloadBlock {
+    /// Block index within the kernel (also its identifier in stats).
+    pub id: usize,
+    /// Half-open item-index range `[start, end)` into `Program::items`.
+    pub start: usize,
+    pub end: usize,
+    /// Role of each instruction in the range (`roles[idx - start]`).
+    pub roles: Vec<InstrRole>,
+    /// Registers transferred GPU→NSU in the command packet (live-ins used by
+    /// `@NSU` instructions, excluding values the NSU produces itself).
+    pub live_in: Vec<Reg>,
+    /// Registers transferred NSU→GPU in the ACK packet (defs live after the
+    /// block that the GPU did not compute).
+    pub live_out: Vec<Reg>,
+    /// Generated NSU code (Begin + body + End).
+    pub nsu_code: Vec<NsuInstr>,
+    /// Start PC of the NSU code in the (physically contiguous, §4.1.1) NSU
+    /// code region.
+    pub nsu_pc: u64,
+    /// Static score from Eq. 1 (bytes saved − register-transfer overhead).
+    pub score: i64,
+    /// True for single-indirect-load blocks added by the §4.4 rule.
+    pub indirect: bool,
+}
+
+impl OffloadBlock {
+    /// Role of the instruction at item index `idx`, if inside this block.
+    pub fn role_of(&self, idx: usize) -> Option<InstrRole> {
+        if idx >= self.start && idx < self.end {
+            Some(self.roles[idx - self.start])
+        } else {
+            None
+        }
+    }
+
+    pub fn contains(&self, idx: usize) -> bool {
+        idx >= self.start && idx < self.end
+    }
+
+    pub fn n_loads(&self) -> usize {
+        self.roles.iter().filter(|r| **r == InstrRole::Load).count()
+    }
+
+    pub fn n_stores(&self) -> usize {
+        self.roles
+            .iter()
+            .filter(|r| **r == InstrRole::Store)
+            .count()
+    }
+
+    /// Instruction count of the translated NSU code, excluding the
+    /// `OFLD.BEG`/`OFLD.END` markers — the quantity reported per workload in
+    /// Table 1.
+    pub fn nsu_len(&self) -> usize {
+        self.nsu_code
+            .iter()
+            .filter(|i| !matches!(i, NsuInstr::Begin { .. } | NsuInstr::End { .. }))
+            .count()
+    }
+
+    /// Bytes of NSU code, assuming 8 B per instruction (for the Fig. 11
+    /// I-cache utilization statistic).
+    pub fn nsu_code_bytes(&self) -> usize {
+        self.nsu_code.len() * 8
+    }
+}
+
+/// Estimated ALU issue latency class on the NSU (mirrors the GPU classes).
+pub fn nsu_alu_latency(op: AluOp, base: u32, sfu: u32) -> u32 {
+    if op.is_sfu() {
+        sfu
+    } else {
+        base
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::{AluOp, Operand};
+
+    fn block() -> OffloadBlock {
+        OffloadBlock {
+            id: 0,
+            start: 10,
+            end: 14,
+            roles: vec![
+                InstrRole::Load,
+                InstrRole::AtNsu,
+                InstrRole::AddrCalc,
+                InstrRole::Store,
+            ],
+            live_in: vec![Reg(0)],
+            live_out: vec![Reg(2)],
+            nsu_code: vec![
+                NsuInstr::Begin { regs_in: 1 },
+                NsuInstr::Ld { dst: Reg(1) },
+                NsuInstr::Alu(Instr::alu(
+                    AluOp::FMul,
+                    Reg(2),
+                    Operand::Reg(Reg(0)),
+                    Operand::Reg(Reg(1)),
+                )),
+                NsuInstr::St { src: Reg(2) },
+                NsuInstr::End { regs_out: 1 },
+            ],
+            nsu_pc: 0xd08,
+            score: 128,
+            indirect: false,
+        }
+    }
+
+    #[test]
+    fn role_lookup() {
+        let b = block();
+        assert_eq!(b.role_of(10), Some(InstrRole::Load));
+        assert_eq!(b.role_of(12), Some(InstrRole::AddrCalc));
+        assert_eq!(b.role_of(13), Some(InstrRole::Store));
+        assert_eq!(b.role_of(14), None);
+        assert_eq!(b.role_of(9), None);
+        assert!(b.contains(11) && !b.contains(14));
+    }
+
+    #[test]
+    fn counts_and_nsu_len() {
+        let b = block();
+        assert_eq!(b.n_loads(), 1);
+        assert_eq!(b.n_stores(), 1);
+        // LD + MUL + ST = 3, matching the Fig. 3 example.
+        assert_eq!(b.nsu_len(), 3);
+        assert_eq!(b.nsu_code_bytes(), 5 * 8);
+    }
+}

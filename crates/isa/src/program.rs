@@ -1,0 +1,299 @@
+//! Kernel programs: linear instruction stream with structured loop markers.
+//!
+//! Control flow is structured (counted loops and barriers only). Offload
+//! blocks may not span loop or barrier boundaries — the §3.1 constraint that
+//! a block stays within one basic block — which the linear form makes easy
+//! to enforce: a basic block is a maximal run of `Item::Op` entries.
+
+use crate::instr::{Instr, MemSpace, Reg};
+
+/// Loop trip count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TripCount {
+    /// Same for every warp.
+    Const(u32),
+    /// `base + hash(warp, seed) % spread` — models irregular per-warp work
+    /// (graph frontiers, variable-degree rows).
+    PerWarp { base: u32, spread: u32 },
+}
+
+impl TripCount {
+    pub fn resolve(&self, warp: u32, seed: u64) -> u32 {
+        match *self {
+            TripCount::Const(n) => n,
+            TripCount::PerWarp { base, spread } => {
+                if spread == 0 {
+                    base
+                } else {
+                    let h = ndp_common::rng::splitmix64(seed ^ 0x10ef ^ warp as u64);
+                    base + (h % spread as u64) as u32
+                }
+            }
+        }
+    }
+
+    /// Upper bound on trips (for static analysis).
+    pub fn max(&self) -> u32 {
+        match *self {
+            TripCount::Const(n) => n,
+            TripCount::PerWarp { base, spread } => base + spread.saturating_sub(1),
+        }
+    }
+}
+
+/// One element of the linear program.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Item {
+    Op(Instr),
+    LoopBegin(TripCount),
+    LoopEnd,
+    /// Thread-block barrier / synchronization point. Never inside an offload
+    /// block (§3.1).
+    Bar,
+}
+
+/// A named data array of the kernel, with its (physical, in our simplified
+/// flat address space) base address.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArrayDecl {
+    pub name: &'static str,
+    pub base: u64,
+    pub bytes: u64,
+    pub elem_bytes: u32,
+}
+
+impl ArrayDecl {
+    pub fn elems(&self) -> u64 {
+        self.bytes / self.elem_bytes as u64
+    }
+}
+
+/// A complete kernel.
+#[derive(Debug, Clone)]
+pub struct Program {
+    pub name: &'static str,
+    pub items: Vec<Item>,
+    pub arrays: Vec<ArrayDecl>,
+    /// Number of warps launched.
+    pub num_warps: u32,
+}
+
+/// Errors detected by [`Program::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProgramError {
+    UnbalancedLoops,
+    UseBeforeDef(Reg, usize),
+    EmptyProgram,
+    SharedStoreToConst(usize),
+}
+
+impl Program {
+    pub fn new(name: &'static str, num_warps: u32) -> Self {
+        Program {
+            name,
+            items: vec![],
+            arrays: vec![],
+            num_warps,
+        }
+    }
+
+    /// Structural validation: balanced loops, no obvious use-before-def at
+    /// top level, no writes to the constant space.
+    pub fn validate(&self) -> Result<(), ProgramError> {
+        if self.items.is_empty() {
+            return Err(ProgramError::EmptyProgram);
+        }
+        let mut depth: i64 = 0;
+        let mut defined = [false; 64];
+        for (idx, item) in self.items.iter().enumerate() {
+            match item {
+                Item::LoopBegin(_) => depth += 1,
+                Item::LoopEnd => {
+                    depth -= 1;
+                    if depth < 0 {
+                        return Err(ProgramError::UnbalancedLoops);
+                    }
+                }
+                Item::Bar => {}
+                Item::Op(i) => {
+                    if let Instr::St {
+                        space: MemSpace::Const,
+                        ..
+                    } = i
+                    {
+                        return Err(ProgramError::SharedStoreToConst(idx));
+                    }
+                    // Use-before-def only checked outside loops: loop bodies
+                    // legitimately consume values defined on earlier trips.
+                    if depth == 0 {
+                        for s in i.srcs() {
+                            if !defined[s.0 as usize] {
+                                return Err(ProgramError::UseBeforeDef(s, idx));
+                            }
+                        }
+                    }
+                    if let Some(d) = i.dst() {
+                        defined[d.0 as usize] = true;
+                    }
+                }
+            }
+        }
+        if depth != 0 {
+            return Err(ProgramError::UnbalancedLoops);
+        }
+        Ok(())
+    }
+
+    /// Basic blocks: maximal runs of `Item::Op` (half-open index ranges into
+    /// `items`). Offload blocks must be contained in one of these.
+    pub fn basic_blocks(&self) -> Vec<(usize, usize)> {
+        let mut blocks = vec![];
+        let mut start = None;
+        for (i, item) in self.items.iter().enumerate() {
+            match item {
+                Item::Op(_) => {
+                    if start.is_none() {
+                        start = Some(i);
+                    }
+                }
+                _ => {
+                    if let Some(s) = start.take() {
+                        blocks.push((s, i));
+                    }
+                }
+            }
+        }
+        if let Some(s) = start {
+            blocks.push((s, self.items.len()));
+        }
+        blocks
+    }
+
+    /// Total static instruction count (ops only).
+    pub fn num_ops(&self) -> usize {
+        self.items
+            .iter()
+            .filter(|i| matches!(i, Item::Op(_)))
+            .count()
+    }
+
+    /// Dynamic warp-instruction upper bound (ops weighted by loop trip
+    /// maxima) — used for progress estimates, not timing.
+    pub fn dynamic_ops_bound(&self) -> u64 {
+        let mut mult: u64 = 1;
+        let mut stack = vec![];
+        let mut total: u64 = 0;
+        for item in &self.items {
+            match item {
+                Item::LoopBegin(t) => {
+                    stack.push(mult);
+                    mult = mult.saturating_mul(t.max() as u64);
+                }
+                Item::LoopEnd => mult = stack.pop().expect("validated"),
+                Item::Op(_) => total = total.saturating_add(mult),
+                Item::Bar => {}
+            }
+        }
+        total
+    }
+
+    pub fn array(&self, name: &str) -> Option<&ArrayDecl> {
+        self.arrays.iter().find(|a| a.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::{AluOp, Operand};
+
+    fn op(dst: u8) -> Item {
+        Item::Op(Instr::mov(Reg(dst), Operand::Tid))
+    }
+
+    #[test]
+    fn validate_balanced_loops() {
+        let mut p = Program::new("t", 1);
+        p.items = vec![
+            op(0),
+            Item::LoopBegin(TripCount::Const(4)),
+            op(1),
+            Item::LoopEnd,
+        ];
+        assert!(p.validate().is_ok());
+        p.items.push(Item::LoopEnd);
+        assert_eq!(p.validate(), Err(ProgramError::UnbalancedLoops));
+    }
+
+    #[test]
+    fn validate_use_before_def() {
+        let mut p = Program::new("t", 1);
+        p.items = vec![Item::Op(Instr::alu(
+            AluOp::IAdd,
+            Reg(1),
+            Operand::Reg(Reg(0)),
+            Operand::Imm(1),
+        ))];
+        assert_eq!(p.validate(), Err(ProgramError::UseBeforeDef(Reg(0), 0)));
+    }
+
+    #[test]
+    fn validate_rejects_const_store() {
+        let mut p = Program::new("t", 1);
+        p.items = vec![
+            op(0),
+            Item::Op(Instr::St {
+                val: Reg(0),
+                space: MemSpace::Const,
+                addr: Reg(0),
+            }),
+        ];
+        assert_eq!(p.validate(), Err(ProgramError::SharedStoreToConst(1)));
+    }
+
+    #[test]
+    fn basic_blocks_split_on_loops_and_barriers() {
+        let mut p = Program::new("t", 1);
+        p.items = vec![
+            op(0),
+            op(1),
+            Item::LoopBegin(TripCount::Const(2)),
+            op(2),
+            op(3),
+            Item::Bar,
+            op(4),
+            Item::LoopEnd,
+            op(5),
+        ];
+        assert_eq!(p.basic_blocks(), vec![(0, 2), (3, 5), (6, 7), (8, 9)]);
+    }
+
+    #[test]
+    fn dynamic_bound_multiplies_loops() {
+        let mut p = Program::new("t", 1);
+        p.items = vec![
+            op(0),
+            Item::LoopBegin(TripCount::Const(10)),
+            op(1),
+            op(2),
+            Item::LoopEnd,
+        ];
+        assert_eq!(p.dynamic_ops_bound(), 1 + 20);
+    }
+
+    #[test]
+    fn per_warp_trip_counts_vary_but_are_deterministic() {
+        let t = TripCount::PerWarp {
+            base: 4,
+            spread: 16,
+        };
+        let a = t.resolve(0, 1);
+        let b = t.resolve(1, 1);
+        assert_eq!(a, t.resolve(0, 1));
+        assert!(a >= 4 && a < 20);
+        // Different warps should usually differ (probabilistic; fixed seed).
+        let distinct = (0..32).map(|w| t.resolve(w, 1)).collect::<std::collections::HashSet<_>>();
+        assert!(distinct.len() > 4, "{distinct:?}");
+        let _ = b;
+    }
+}

@@ -1,0 +1,13 @@
+//! The HMC memory network (§2, §5).
+//!
+//! The paper interconnects 8 HMCs in a 3-D hypercube using 3 of the 4 HMC
+//! links per stack (20 GB/s per direction each), leaving one link for the
+//! GPU. Inter-stack NDP traffic (RDF responses and NSU writes crossing
+//! stacks) rides this network and never touches the GPU links — the key
+//! bandwidth argument of the paper.
+
+pub mod network;
+pub mod topology;
+
+pub use network::MemNetwork;
+pub use topology::Topology;

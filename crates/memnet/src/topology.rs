@@ -1,0 +1,153 @@
+//! Hypercube topology and dimension-order routing.
+
+use ndp_common::ids::HmcId;
+
+/// An n-dimensional binary hypercube over `2^dims` nodes (3-D for the
+/// paper's 8 HMCs, matching the 3 memory-network links per stack).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Topology {
+    dims: u32,
+}
+
+impl Topology {
+    /// Build for `nodes` HMCs; `nodes` must be a power of two ≥ 2.
+    pub fn hypercube(nodes: usize) -> Self {
+        assert!(
+            nodes.is_power_of_two() && nodes >= 2,
+            "hypercube needs a power-of-two node count, got {nodes}"
+        );
+        Topology {
+            dims: nodes.trailing_zeros(),
+        }
+    }
+
+    pub fn dims(&self) -> u32 {
+        self.dims
+    }
+
+    pub fn nodes(&self) -> usize {
+        1 << self.dims
+    }
+
+    /// Links per node (= dimensions).
+    pub fn degree(&self) -> usize {
+        self.dims as usize
+    }
+
+    /// Neighbor of `n` along dimension `d`.
+    pub fn neighbor(&self, n: HmcId, d: u32) -> HmcId {
+        debug_assert!(d < self.dims);
+        HmcId(n.0 ^ (1 << d))
+    }
+
+    /// Minimal hop count between two nodes (Hamming distance).
+    pub fn hops(&self, a: HmcId, b: HmcId) -> u32 {
+        (a.0 ^ b.0).count_ones()
+    }
+
+    /// Dimension-order routing: the dimension of the next hop from `at`
+    /// toward `dst` (lowest differing dimension first). `None` when already
+    /// at the destination. Deterministic and deadlock-free (dimension
+    /// ordering admits no cyclic channel dependencies).
+    pub fn route_dim(&self, at: HmcId, dst: HmcId) -> Option<u32> {
+        let diff = at.0 ^ dst.0;
+        if diff == 0 {
+            None
+        } else {
+            Some(diff.trailing_zeros())
+        }
+    }
+
+    /// Next node on the route from `at` to `dst`.
+    pub fn next_hop(&self, at: HmcId, dst: HmcId) -> Option<HmcId> {
+        self.route_dim(at, dst).map(|d| self.neighbor(at, d))
+    }
+
+    /// The full dimension-ordered path (excluding the source).
+    pub fn path(&self, mut at: HmcId, dst: HmcId) -> Vec<HmcId> {
+        let mut p = vec![];
+        while let Some(next) = self.next_hop(at, dst) {
+            p.push(next);
+            at = next;
+        }
+        p
+    }
+
+    /// Average hop distance over all (src ≠ dst) pairs: dims/2 × nodes/(nodes−1).
+    pub fn mean_hops(&self) -> f64 {
+        let n = self.nodes() as f64;
+        self.dims as f64 / 2.0 * n / (n - 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn three_d_cube_shape() {
+        let t = Topology::hypercube(8);
+        assert_eq!(t.dims(), 3);
+        assert_eq!(t.degree(), 3, "matches 3 memory-network links per HMC");
+        assert_eq!(t.neighbor(HmcId(0), 0), HmcId(1));
+        assert_eq!(t.neighbor(HmcId(5), 1), HmcId(7));
+    }
+
+    #[test]
+    fn hops_are_hamming_distance() {
+        let t = Topology::hypercube(8);
+        assert_eq!(t.hops(HmcId(0), HmcId(7)), 3);
+        assert_eq!(t.hops(HmcId(3), HmcId(3)), 0);
+        assert_eq!(t.hops(HmcId(2), HmcId(6)), 1);
+    }
+
+    #[test]
+    fn dimension_order_path_is_minimal_and_monotone() {
+        let t = Topology::hypercube(8);
+        for a in 0..8u8 {
+            for b in 0..8u8 {
+                let p = t.path(HmcId(a), HmcId(b));
+                assert_eq!(p.len() as u32, t.hops(HmcId(a), HmcId(b)));
+                // Each hop reduces the Hamming distance by exactly one.
+                let mut prev = HmcId(a);
+                for &n in &p {
+                    assert_eq!(t.hops(prev, n), 1);
+                    assert_eq!(t.hops(n, HmcId(b)) + 1, t.hops(prev, HmcId(b)));
+                    prev = n;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn routing_fixes_lowest_dimension_first() {
+        let t = Topology::hypercube(8);
+        assert_eq!(t.route_dim(HmcId(0b000), HmcId(0b110)), Some(1));
+        assert_eq!(t.route_dim(HmcId(0b010), HmcId(0b110)), Some(2));
+        assert_eq!(t.route_dim(HmcId(0b110), HmcId(0b110)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn non_power_of_two_rejected() {
+        Topology::hypercube(6);
+    }
+
+    #[test]
+    fn mean_hops_formula() {
+        let t = Topology::hypercube(8);
+        // Exhaustive check.
+        let mut total = 0u32;
+        let mut pairs = 0u32;
+        for a in 0..8u8 {
+            for b in 0..8u8 {
+                if a != b {
+                    total += t.hops(HmcId(a), HmcId(b));
+                    pairs += 1;
+                }
+            }
+        }
+        let exact = total as f64 / pairs as f64;
+        assert!((t.mean_hops() - exact).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,15 @@
+//! The Near-data processing SIMD Unit (NSU, §4.5).
+//!
+//! An NSU sits on the logic layer of each memory stack. It has **no MMU, no
+//! TLB, and no data cache** — that is the paper's standardization argument.
+//! It holds 48 warp slots, a 10-entry offload command buffer, a 256-entry
+//! read data buffer and a 256-entry write address buffer (Table 2), and
+//! executes the translated NSU code of offload blocks: loads pop merged RDF
+//! responses from the read data buffer, stores emit DRAM writes using
+//! GPU-provided physical addresses from the write address buffer, and
+//! `OFLD.END` returns an acknowledgment (with live-out registers) after all
+//! writes are acknowledged (§4.1.2).
+
+pub mod core;
+
+pub use core::{CreditEvents, Nsu};

@@ -1,0 +1,301 @@
+//! Kernel-construction helpers: a tiny assembler over the warp IR with a
+//! register allocator and a page-aligned array allocator.
+
+use ndp_isa::instr::{AluOp, Instr, MemSpace, Operand, Reg};
+use ndp_isa::program::{ArrayDecl, Item, Program, TripCount};
+
+/// Problem-size scaling shared by all workloads.
+#[derive(Debug, Clone, Copy)]
+pub struct Scale {
+    /// Warps launched.
+    pub warps: u32,
+    /// Nominal loop trip count (per-workload kernels derive their loops
+    /// from this).
+    pub iters: u32,
+}
+
+impl Scale {
+    /// Tiny problems for unit tests.
+    pub fn tiny() -> Self {
+        Scale { warps: 8, iters: 4 }
+    }
+
+    /// Evaluation scale: enough warps to fill 64 SMs with multiple waves
+    /// and saturate the GPU links on the streaming kernels, while keeping
+    /// one simulation in the seconds range (the same
+    /// scaling-for-feasibility step the paper applies, §5).
+    pub fn eval() -> Self {
+        Scale {
+            warps: 2048,
+            iters: 16,
+        }
+    }
+
+    pub fn threads(&self) -> u64 {
+        self.warps as u64 * 32
+    }
+}
+
+impl Default for Scale {
+    fn default() -> Self {
+        Scale::eval()
+    }
+}
+
+/// Kernel builder.
+pub struct Kb {
+    name: &'static str,
+    items: Vec<Item>,
+    arrays: Vec<ArrayDecl>,
+    next_reg: u8,
+    base_cursor: u64,
+    warps: u32,
+}
+
+impl Kb {
+    pub fn new(name: &'static str, warps: u32) -> Self {
+        Kb {
+            name,
+            items: vec![],
+            arrays: vec![],
+            next_reg: 0,
+            // Leave page 0 unused.
+            base_cursor: 0x10_0000,
+            warps,
+        }
+    }
+
+    /// Allocate a fresh register.
+    pub fn reg(&mut self) -> Reg {
+        let r = Reg(self.next_reg);
+        self.next_reg += 1;
+        assert!(self.next_reg <= 64, "register budget exceeded in {}", self.name);
+        r
+    }
+
+    /// Declare a data array; returns its base address (4 KB aligned so the
+    /// random page→HMC interleaving applies cleanly).
+    pub fn array(&mut self, name: &'static str, bytes: u64, elem_bytes: u32) -> u64 {
+        let base = self.base_cursor;
+        self.arrays.push(ArrayDecl {
+            name,
+            base,
+            bytes,
+            elem_bytes,
+        });
+        self.base_cursor += bytes.div_ceil(4096).max(1) * 4096;
+        base
+    }
+
+    pub fn op(&mut self, i: Instr) {
+        self.items.push(Item::Op(i));
+    }
+
+    /// `dst = a * b + c` into a fresh register.
+    pub fn imad(&mut self, a: Operand, b: Operand, c: Operand) -> Reg {
+        let d = self.reg();
+        self.op(Instr::alu3(AluOp::IMad, d, a, b, c));
+        d
+    }
+
+    pub fn iadd(&mut self, a: Operand, b: Operand) -> Reg {
+        let d = self.reg();
+        self.op(Instr::alu(AluOp::IAdd, d, a, b));
+        d
+    }
+
+    pub fn imul(&mut self, a: Operand, b: Operand) -> Reg {
+        let d = self.reg();
+        self.op(Instr::alu(AluOp::IMul, d, a, b));
+        d
+    }
+
+    pub fn and(&mut self, a: Operand, b: Operand) -> Reg {
+        let d = self.reg();
+        self.op(Instr::alu(AluOp::And, d, a, b));
+        d
+    }
+
+    pub fn shl(&mut self, a: Operand, b: Operand) -> Reg {
+        let d = self.reg();
+        self.op(Instr::alu(AluOp::Shl, d, a, b));
+        d
+    }
+
+    pub fn falu(&mut self, op: AluOp, a: Operand, b: Operand) -> Reg {
+        let d = self.reg();
+        self.op(Instr::alu(op, d, a, b));
+        d
+    }
+
+    pub fn fmad(&mut self, a: Operand, b: Operand, c: Operand) -> Reg {
+        let d = self.reg();
+        self.op(Instr::alu3(AluOp::FMad, d, a, b, c));
+        d
+    }
+
+    /// Reduce into an existing register: `acc = op(acc, b)`.
+    pub fn reduce(&mut self, op: AluOp, acc: Reg, b: Operand) {
+        self.op(Instr::alu(op, acc, Operand::Reg(acc), b));
+    }
+
+    /// Two-source ALU into an existing register (explicit register reuse
+    /// for large kernels).
+    pub fn alu_into(&mut self, op: AluOp, d: Reg, a: Operand, b: Operand) {
+        self.op(Instr::alu(op, d, a, b));
+    }
+
+    /// Three-source ALU into an existing register.
+    pub fn alu3_into(&mut self, op: AluOp, d: Reg, a: Operand, b: Operand, c: Operand) {
+        self.op(Instr::alu3(op, d, a, b, c));
+    }
+
+    /// Load into an existing register.
+    pub fn ld_into(&mut self, d: Reg, addr: Reg) {
+        self.op(Instr::ld(d, addr));
+    }
+
+    /// Reset the register allocator cursor (reuse registers across phases
+    /// whose values are dead — e.g. after a barrier).
+    pub fn reset_regs(&mut self, n: u8) {
+        self.next_reg = n;
+    }
+
+    /// Current register cursor.
+    pub fn reg_cursor(&self) -> u8 {
+        self.next_reg
+    }
+
+    pub fn mov(&mut self, a: Operand) -> Reg {
+        let d = self.reg();
+        self.op(Instr::mov(d, a));
+        d
+    }
+
+    pub fn ld(&mut self, addr: Reg) -> Reg {
+        let d = self.reg();
+        self.op(Instr::ld(d, addr));
+        d
+    }
+
+    pub fn ld_const(&mut self, addr: Reg) -> Reg {
+        let d = self.reg();
+        self.op(Instr::Ld {
+            dst: d,
+            space: MemSpace::Const,
+            addr,
+        });
+        d
+    }
+
+    pub fn ld_shared(&mut self, addr: Reg) -> Reg {
+        let d = self.reg();
+        self.op(Instr::Ld {
+            dst: d,
+            space: MemSpace::Shared,
+            addr,
+        });
+        d
+    }
+
+    pub fn st(&mut self, val: Reg, addr: Reg) {
+        self.op(Instr::st(val, addr));
+    }
+
+    pub fn st_shared(&mut self, val: Reg, addr: Reg) {
+        self.op(Instr::St {
+            val,
+            space: MemSpace::Shared,
+            addr,
+        });
+    }
+
+    pub fn bar(&mut self) {
+        self.items.push(Item::Bar);
+    }
+
+    pub fn loop_n(&mut self, trips: u32, body: impl FnOnce(&mut Kb)) {
+        self.items.push(Item::LoopBegin(TripCount::Const(trips)));
+        body(self);
+        self.items.push(Item::LoopEnd);
+    }
+
+    pub fn loop_irregular(&mut self, base: u32, spread: u32, body: impl FnOnce(&mut Kb)) {
+        self.items
+            .push(Item::LoopBegin(TripCount::PerWarp { base, spread }));
+        body(self);
+        self.items.push(Item::LoopEnd);
+    }
+
+    /// Address of a 4-byte element: `base + (iter*stride_elems + tid) * 4`.
+    /// Emits the canonical two-instruction address chain.
+    pub fn addr_stream(&mut self, base: u64, stride_elems: u64) -> Reg {
+        let off = self.imad(
+            Operand::Iter(0),
+            Operand::Imm(stride_elems * 4),
+            Operand::Imm(base),
+        );
+        let t4 = self.imad(Operand::Tid, Operand::Imm(4), Operand::Reg(off));
+        t4
+    }
+
+    /// Broadcast address: `base + iter*4` (all lanes identical).
+    pub fn addr_broadcast(&mut self, base: u64, modulo: u64) -> Reg {
+        // iter % modulo via mask when modulo is a power of two.
+        assert!(modulo.is_power_of_two());
+        let m = self.and(Operand::Iter(0), Operand::Imm(modulo - 1));
+        self.imad(Operand::Reg(m), Operand::Imm(4), Operand::Imm(base))
+    }
+
+    /// Broadcast address at cache-line granularity: `base +
+    /// (iter % modulo)*line` — a fresh shared line per iteration, the
+    /// mat-vec operand pattern (all warps at iteration j read vector
+    /// element block j).
+    pub fn addr_broadcast_line(&mut self, base: u64, modulo: u64) -> Reg {
+        assert!(modulo.is_power_of_two());
+        let m = self.and(Operand::Iter(0), Operand::Imm(modulo - 1));
+        self.imad(Operand::Reg(m), Operand::Imm(4096), Operand::Imm(base))
+    }
+
+    pub fn finish(self) -> Program {
+        let mut p = Program::new(self.name, self.warps);
+        p.items = self.items;
+        p.arrays = self.arrays;
+        p.validate()
+            .unwrap_or_else(|e| panic!("{} kernel invalid: {e:?}", p.name));
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_produces_valid_program() {
+        let mut k = Kb::new("t", 4);
+        let a = k.array("a", 4096, 4);
+        let b = k.array("b", 4096, 4);
+        assert_ne!(a, b);
+        assert_eq!(a % 4096, 0);
+        k.loop_n(4, |k| {
+            let addr = k.addr_stream(a, 128);
+            let x = k.ld(addr);
+            let y = k.falu(AluOp::FMul, Operand::Reg(x), Operand::Reg(x));
+            let out = k.addr_stream(b, 128);
+            k.st(y, out);
+        });
+        let p = k.finish();
+        assert_eq!(p.arrays.len(), 2);
+        assert!(p.num_ops() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "register budget")]
+    fn register_budget_enforced() {
+        let mut k = Kb::new("t", 1);
+        for _ in 0..65 {
+            k.reg();
+        }
+    }
+}

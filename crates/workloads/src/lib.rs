@@ -1,0 +1,13 @@
+//! The ten evaluated workloads (Table 1), re-expressed in the warp IR.
+//!
+//! Each kernel reproduces the *memory access structure* of its original
+//! (Rodinia / Parboil / CUDA SDK / Polybench — see DESIGN.md for the
+//! substitution argument): streaming vs. strided vs. indirect access,
+//! loads-to-stores ratio, compute per byte, scratchpad/barrier usage, and —
+//! asserted by tests — the per-block NSU instruction counts of Table 1.
+
+pub mod builder;
+pub mod kernels;
+
+pub use builder::{Kb, Scale};
+pub use kernels::{all_workloads, workload, Workload, WORKLOADS};

@@ -1,0 +1,34 @@
+//! Inspect the offload-block compiler's output for every workload
+//! (Fig. 3-style listings plus Table 1 shape).
+//!
+//! Run: `cargo run --release --example codegen_inspect [workload]`
+
+use standardized_ndp::prelude::*;
+
+fn main() {
+    let filter = std::env::args().nth(1);
+    let scale = Scale::tiny(); // code structure is scale-invariant
+    for w in WORKLOADS {
+        if let Some(f) = &filter {
+            if !w.name().eq_ignore_ascii_case(f) {
+                continue;
+            }
+        }
+        let program = w.build(&scale);
+        let kernel = compile(&program, &CompilerConfig::default());
+        println!("════════ {} — {} ════════", w.name(), w.description());
+        println!(
+            "blocks: {:?} NSU instrs (Table 1 says {:?})\n",
+            kernel.nsu_lens(),
+            w.table1_sizes()
+        );
+        println!("{}", ndp_isa::disasm::disasm_gpu(&program, &kernel.blocks));
+        for b in &kernel.blocks {
+            println!(
+                "--- NSU code, block {} (live-in {:?}, live-out {:?}) ---",
+                b.id, b.live_in, b.live_out
+            );
+            println!("{}", ndp_isa::disasm::disasm_nsu(b));
+        }
+    }
+}

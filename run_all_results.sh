@@ -1,0 +1,22 @@
+#!/bin/bash
+# Regenerate every paper table/figure at the recorded scale.
+cd /root/repo
+export NDP_WARPS=1024 NDP_ITERS=8 NDP_EPOCH=2000
+R=results
+./target/release/table1 > $R/table1.txt 2>&1
+./target/release/table2 > $R/table2.txt 2>&1
+./target/release/fig5 > $R/fig5.txt 2>&1
+./target/release/overhead > $R/overhead.txt 2>&1
+./target/release/fig9 > $R/fig9.txt 2>&1
+./target/release/fig7 > $R/fig7.txt 2>&1
+./target/release/fig8 > $R/fig8.txt 2>&1
+./target/release/fig10 > $R/fig10.txt 2>&1
+./target/release/fig11 > $R/fig11.txt 2>&1
+./target/release/inval_traffic > $R/inval_traffic.txt 2>&1
+./target/release/nsu_freq > $R/nsu_freq.txt 2>&1
+./target/release/bigger_gpu > $R/bigger_gpu.txt 2>&1
+./target/release/nsu_cache > $R/nsu_cache.txt 2>&1
+./target/release/ablate > $R/ablate.txt 2>&1
+./target/release/bicg_fine > $R/bicg_fine.txt 2>&1
+./target/release/make_report
+echo ALL_DONE

@@ -1,0 +1,133 @@
+//! End-to-end integration tests across the whole simulator stack: every
+//! workload, baseline and NDP, must drain cleanly and exhibit the
+//! first-order behaviours the paper's mechanism is built on.
+
+use standardized_ndp::prelude::*;
+
+const MAX: u64 = 30_000_000;
+
+fn small(mut cfg: SystemConfig, w: Workload) -> RunResult {
+    cfg.gpu.num_sms = 8;
+    let p = w.build(&Scale { warps: 64, iters: 4 });
+    System::new(cfg, &p).run(MAX)
+}
+
+#[test]
+fn every_workload_drains_on_baseline() {
+    for w in WORKLOADS {
+        let r = small(SystemConfig::baseline(), w);
+        assert!(!r.timed_out, "{} timed out", w.name());
+        assert!(r.issue.issued > 0, "{} issued nothing", w.name());
+        assert_eq!(r.nsu_instrs, 0, "{}: NSUs must idle in baseline", w.name());
+    }
+}
+
+#[test]
+fn every_workload_drains_under_naive_ndp() {
+    for w in WORKLOADS {
+        let r = small(SystemConfig::naive_ndp(), w);
+        assert!(!r.timed_out, "{} timed out", w.name());
+        assert!(r.offloaded > 0, "{} never offloaded", w.name());
+        assert!(r.nsu_instrs > 0, "{}: NSU code must run", w.name());
+    }
+}
+
+#[test]
+fn every_workload_drains_under_dynamic_cache_policy() {
+    for w in WORKLOADS {
+        let r = small(SystemConfig::ndp_dynamic_cache(), w);
+        assert!(!r.timed_out, "{} timed out", w.name());
+    }
+}
+
+#[test]
+fn streaming_ndp_slashes_gpu_link_traffic() {
+    // Slightly larger than `small` so the streams outgrow the caches.
+    let run = |mut cfg: SystemConfig, w: Workload| {
+        cfg.gpu.num_sms = 8;
+        let p = w.build(&Scale { warps: 128, iters: 8 });
+        System::new(cfg, &p).run(MAX)
+    };
+    for w in [Workload::Vadd, Workload::Kmn, Workload::MiniFe] {
+        let base = run(SystemConfig::baseline(), w);
+        let ndp = run(SystemConfig::naive_ndp(), w);
+        assert!(
+            (ndp.gpu_link_bytes as f64) < 0.6 * base.gpu_link_bytes as f64,
+            "{}: {} vs {} bytes",
+            w.name(),
+            ndp.gpu_link_bytes,
+            base.gpu_link_bytes
+        );
+        assert!(ndp.memnet_bytes > 0, "{}: data must cross the memnet", w.name());
+    }
+}
+
+#[test]
+fn offloaded_warp_count_matches_policy() {
+    let r = small(SystemConfig::ndp_static(0.5), Workload::Vadd);
+    let frac = r.offload_fraction();
+    assert!((frac - 0.5).abs() < 0.15, "ratio 0.5 produced {frac}");
+}
+
+#[test]
+fn runs_are_deterministic() {
+    let a = small(SystemConfig::naive_ndp(), Workload::Stcl);
+    let b = small(SystemConfig::naive_ndp(), Workload::Stcl);
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.gpu_link_bytes, b.gpu_link_bytes);
+    assert_eq!(a.dram.activations, b.dram.activations);
+}
+
+#[test]
+fn page_map_seed_changes_timing_but_not_completion() {
+    let mut cfg = SystemConfig::naive_ndp();
+    cfg.gpu.num_sms = 8;
+    let p = Workload::Vadd.build(&Scale { warps: 64, iters: 4 });
+    let a = System::new(cfg.clone(), &p).run(MAX);
+    cfg.seed ^= 0xdecafbad;
+    let b = System::new(cfg, &p).run(MAX);
+    assert!(!a.timed_out && !b.timed_out);
+    // Different random page→HMC maps: traffic identical in volume terms is
+    // not guaranteed, completion is.
+    assert!(a.offloaded > 0 && b.offloaded > 0);
+}
+
+#[test]
+fn bigger_gpu_is_faster_on_memlight_workload() {
+    // Sanity for the §7.3 scaling study machinery: more SMs must not slow
+    // a compute-heavy kernel down.
+    let mut small_cfg = SystemConfig::baseline();
+    small_cfg.gpu.num_sms = 4;
+    let mut big_cfg = SystemConfig::baseline();
+    big_cfg.gpu.num_sms = 16;
+    let p = Workload::Sp.build(&Scale { warps: 256, iters: 4 });
+    let a = System::new(small_cfg, &p).run(MAX);
+    let b = System::new(big_cfg, &p).run(MAX);
+    assert!(b.cycles < a.cycles, "{} !< {}", b.cycles, a.cycles);
+}
+
+#[test]
+fn nsu_frequency_halving_still_completes() {
+    let mut cfg = SystemConfig::naive_ndp();
+    cfg.nsu.clock_mhz = 175;
+    let r = small(cfg, Workload::Vadd);
+    assert!(!r.timed_out);
+    assert!(r.nsu_instrs > 0);
+}
+
+#[test]
+fn energy_model_produces_consistent_breakdown() {
+    let r = small(SystemConfig::ndp_dynamic(), Workload::Kmn);
+    let e = r.energy(&EnergyParams::default());
+    assert!(e.total() > 0.0);
+    assert!(e.gpu > 0.0 && e.dram > 0.0);
+    // NSUs were active, so they must burn energy under NDP.
+    assert!(e.nsu > 0.0);
+}
+
+#[test]
+fn morecore_baseline_runs_with_72_sms() {
+    let p = Workload::Kmn.build(&Scale { warps: 144, iters: 4 });
+    let r = System::new(SystemConfig::baseline_more_core(), &p).run(MAX);
+    assert!(!r.timed_out);
+}

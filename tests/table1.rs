@@ -1,0 +1,68 @@
+//! Integration test: the static analyzer reproduces Table 1 exactly for
+//! every workload, through the public facade API.
+
+use standardized_ndp::prelude::*;
+
+#[test]
+fn table1_block_sizes() {
+    for w in WORKLOADS {
+        let p = w.build(&Scale::tiny());
+        let ck = compile(&p, &CompilerConfig::default());
+        assert_eq!(
+            ck.nsu_lens(),
+            w.table1_sizes().to_vec(),
+            "Table 1 mismatch for {}",
+            w.name()
+        );
+    }
+}
+
+#[test]
+fn table1_block_sizes_are_scale_invariant() {
+    for w in WORKLOADS {
+        let small = compile(&w.build(&Scale::tiny()), &CompilerConfig::default());
+        let big = compile(
+            &w.build(&Scale {
+                warps: 2048,
+                iters: 32,
+            }),
+            &CompilerConfig::default(),
+        );
+        assert_eq!(small.nsu_lens(), big.nsu_lens(), "{}", w.name());
+    }
+}
+
+#[test]
+fn register_transfers_match_papers_magnitude() {
+    // §5: on average 0.41 regs sent / 0.47 received per thread.
+    let mut regs_in = 0usize;
+    let mut regs_out = 0usize;
+    let mut blocks = 0usize;
+    for w in WORKLOADS {
+        let ck = compile(&w.build(&Scale::tiny()), &CompilerConfig::default());
+        for b in &ck.blocks {
+            regs_in += b.live_in.len();
+            regs_out += b.live_out.len();
+            blocks += 1;
+        }
+    }
+    let avg_in = regs_in as f64 / blocks as f64;
+    let avg_out = regs_out as f64 / blocks as f64;
+    assert!(avg_in < 1.0, "avg regs in = {avg_in}");
+    assert!(avg_out < 1.0, "avg regs out = {avg_out}");
+}
+
+#[test]
+fn nsu_code_fits_the_icache() {
+    // Fig. 11: the NSU's 4 KB I-cache is plenty for every workload's
+    // translated blocks.
+    for w in WORKLOADS {
+        let ck = compile(&w.build(&Scale::tiny()), &CompilerConfig::default());
+        assert!(
+            ck.nsu_footprint_bytes() <= 4096,
+            "{}: {} B of NSU code",
+            w.name(),
+            ck.nsu_footprint_bytes()
+        );
+    }
+}
