@@ -34,7 +34,10 @@ fn bench_fig5(c: &mut Criterion) {
     // Print the headline number once.
     let pts = sweep(8, 64, 20_000, 0x5C17);
     let worst = pts.iter().map(|p| p.overhead()).fold(0.0f64, f64::max);
-    println!("[fig5] worst first-HMC overhead {:.1}% (paper ≤15%)", worst * 100.0);
+    println!(
+        "[fig5] worst first-HMC overhead {:.1}% (paper ≤15%)",
+        worst * 100.0
+    );
 }
 
 fn bench_fig7_small(c: &mut Criterion) {
@@ -75,5 +78,10 @@ fn bench_dynamic_controller(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(figures, bench_fig5, bench_fig7_small, bench_dynamic_controller);
+criterion_group!(
+    figures,
+    bench_fig5,
+    bench_fig7_small,
+    bench_dynamic_controller
+);
 criterion_main!(figures);

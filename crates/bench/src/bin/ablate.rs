@@ -3,7 +3,7 @@
 
 use ndp_common::SystemConfig;
 use ndp_core::experiments::run_workload;
-use ndp_workloads::{Workload, workload};
+use ndp_workloads::{workload, Workload};
 
 fn main() {
     let scale = ndp_bench::harness_scale();
@@ -23,7 +23,10 @@ fn main() {
         let off = run_workload(w, cfg, &scale, 40_000_000);
         println!(
             "  RDF probes GPU cache: on {:.3}x  off {:.3}x  (link bytes {} vs {})",
-            speed(&on), speed(&off), on.gpu_link_bytes, off.gpu_link_bytes
+            speed(&on),
+            speed(&off),
+            on.gpu_link_bytes,
+            off.gpu_link_bytes
         );
 
         // Offload command buffer depth (concurrency throttle, §4.3).
@@ -41,7 +44,9 @@ fn main() {
             let r = run_workload(w, cfg, &scale, 40_000_000);
             println!(
                 "  epoch {:>6} cycles: {:.3}x (achieved ratio {:.2})",
-                epoch, speed(&r), r.offload_fraction()
+                epoch,
+                speed(&r),
+                r.offload_fraction()
             );
         }
     }

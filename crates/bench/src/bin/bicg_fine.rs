@@ -13,7 +13,12 @@ fn main() {
     println!("§7.1: BICG at fine-grained offload ratios (speedup over baseline)\n");
     let mut best = (0.0f64, 0.0f64);
     for r in [0.05, 0.10, 0.15, 0.20, 0.25, 0.30] {
-        let run = run_workload(Workload::Bicg, SystemConfig::ndp_static(r), &scale, 40_000_000);
+        let run = run_workload(
+            Workload::Bicg,
+            SystemConfig::ndp_static(r),
+            &scale,
+            40_000_000,
+        );
         let sp = base.cycles as f64 / run.cycles as f64;
         if sp > best.1 {
             best = (r, sp);

@@ -11,7 +11,10 @@ fn main() {
     };
     let configs = vec![
         ("Baseline(2x)", double(SystemConfig::baseline())),
-        ("NDP(Dyn)_Cache(2x)", double(SystemConfig::ndp_dynamic_cache())),
+        (
+            "NDP(Dyn)_Cache(2x)",
+            double(SystemConfig::ndp_dynamic_cache()),
+        ),
     ];
     let m = ndp_bench::run(&configs, &WORKLOADS);
     println!("§7.3: doubled compute units (speedup over the 2x baseline)\n");

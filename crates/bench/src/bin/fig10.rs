@@ -30,12 +30,26 @@ fn main() {
     println!(
         "{}",
         ndp_core::table::render(
-            &["Workload", "Config", "GPU", "NSU", "IntraHMC", "OffchipICNT", "DRAM", "Total"],
+            &[
+                "Workload",
+                "Config",
+                "GPU",
+                "NSU",
+                "IntraHMC",
+                "OffchipICNT",
+                "DRAM",
+                "Total"
+            ],
             &rows
         )
     );
     for (ci, c) in m.configs.iter().enumerate() {
-        println!("GMEAN normalized energy, {}: {:.3}", c, ndp_common::stats::geomean(&ratios[ci]));
+        let g = match ndp_common::stats::geomean(&ratios[ci]) {
+            Some(g) => format!("{g:.3}"),
+            None => "n/a".to_string(),
+        };
+        println!("GMEAN normalized energy, {c}: {g}");
     }
     println!("(paper: NDP(Dyn) −7.5% avg, NDP(Dyn)_Cache −8.6% avg, up to −37.6% for KMN)");
+    ndp_bench::enforce_timeouts(&m);
 }

@@ -25,5 +25,8 @@ fn main() {
         )
     );
     let worst = pts.iter().map(|p| p.overhead()).fold(0.0f64, f64::max);
-    println!("worst-case overhead of the first-HMC policy: {:.1}% (paper: ≤15%)", worst * 100.0);
+    println!(
+        "worst-case overhead of the first-HMC policy: {:.1}% (paper: ≤15%)",
+        worst * 100.0
+    );
 }

@@ -8,4 +8,5 @@ fn main() {
     println!("Fig. 7: naive NDP vs baselines (speedup over Baseline)\n");
     ndp_bench::print_speedups(&m, "Baseline");
     ndp_bench::dump_json("fig7.json", &m);
+    ndp_bench::enforce_timeouts(&m);
 }

@@ -25,7 +25,14 @@ fn main() {
     println!(
         "{}",
         ndp_core::table::render(
-            &["Workload", "Config", "ExecUnitBusy", "DependencyStall", "WarpIdle", "Total"],
+            &[
+                "Workload",
+                "Config",
+                "ExecUnitBusy",
+                "DependencyStall",
+                "WarpIdle",
+                "Total"
+            ],
             &rows
         )
     );

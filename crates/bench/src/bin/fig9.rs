@@ -12,6 +12,11 @@ fn main() {
     let dyn_i = m.config_index("NDP(Dyn)").expect("present");
     println!("achieved offload fraction under NDP(Dyn):");
     for (wi, w) in m.workloads.iter().enumerate() {
-        println!("  {:8} {:.2}", w.name(), m.results[dyn_i][wi].offload_fraction());
+        println!(
+            "  {:8} {:.2}",
+            w.name(),
+            m.results[dyn_i][wi].offload_fraction()
+        );
     }
+    ndp_bench::enforce_timeouts(&m);
 }

@@ -27,5 +27,9 @@ fn main() {
     );
     let avg = fracs.iter().sum::<f64>() / fracs.len() as f64;
     let max = fracs.iter().cloned().fold(0.0f64, f64::max);
-    println!("avg {:.2}% (paper 0.38%), max {:.2}% (paper 1.42%)", avg * 100.0, max * 100.0);
+    println!(
+        "avg {:.2}% (paper 0.38%), max {:.2}% (paper 1.42%)",
+        avg * 100.0,
+        max * 100.0
+    );
 }

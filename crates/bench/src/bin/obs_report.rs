@@ -1,0 +1,79 @@
+//! `obs_report` — run one workload with the observability layer enabled and
+//! export its transaction-latency / occupancy / protocol-event report.
+//!
+//! Usage: `obs_report [WORKLOAD] [CONFIG]`
+//!
+//! `WORKLOAD` is a Table-1 name (default `VADD`); `CONFIG` is one of the
+//! Fig. 9 configuration names (default `NDP(Dyn)_Cache`). The run honours
+//! the usual `NDP_WARPS` / `NDP_ITERS` / `NDP_EPOCH` scale variables.
+//!
+//! Outputs:
+//!   - a latency/occupancy summary table on stdout,
+//!   - `obs_trace.json`  — Chrome trace-event JSON (load in Perfetto),
+//!   - `obs_metrics.json` — flat metrics document for scripts.
+
+use ndp_common::obs::ObsConfig;
+use ndp_core::experiments::fig9_configs;
+use ndp_core::system::System;
+use ndp_workloads::{workload, Workload};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let w: Workload = match args.get(1) {
+        Some(name) => workload(name).unwrap_or_else(|| {
+            eprintln!("error: unknown workload {name:?}; Table-1 names: VADD, BFS, ...");
+            std::process::exit(2);
+        }),
+        None => Workload::Vadd,
+    };
+    let cfg_name = args.get(2).map(String::as_str).unwrap_or("NDP(Dyn)_Cache");
+    let mut cfg = fig9_configs()
+        .into_iter()
+        .find(|(n, _)| *n == cfg_name)
+        .map(|(_, c)| c)
+        .unwrap_or_else(|| {
+            let names: Vec<&str> = fig9_configs().iter().map(|(n, _)| *n).collect();
+            eprintln!("error: unknown config {cfg_name:?}; one of {names:?}");
+            std::process::exit(2);
+        });
+    cfg.hill_climb.epoch_cycles = std::env::var("NDP_EPOCH")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(30_000);
+
+    let scale = ndp_bench::harness_scale();
+    let program = w.build(&scale);
+    let mut sys = System::new(cfg, &program);
+    sys.enable_obs(ObsConfig::on());
+    let r = sys.run(ndp_core::experiments::DEFAULT_MAX_CYCLES);
+
+    println!(
+        "obs_report: {} / {} — {} cycles, {} offload blocks completed\n",
+        w.name(),
+        cfg_name,
+        r.cycles,
+        r.offloaded
+    );
+    let report = r.obs.as_ref().expect("observability was enabled");
+    println!("{}", report.summary_text());
+
+    let trace_path = "obs_trace.json";
+    let metrics_path = "obs_metrics.json";
+    std::fs::write(trace_path, report.chrome_trace_json()).expect("write trace");
+    std::fs::write(metrics_path, report.metrics_json()).expect("write metrics");
+    println!("wrote {trace_path} (open in https://ui.perfetto.dev) and {metrics_path}");
+
+    if r.timed_out {
+        eprintln!(
+            "error: run timed out at the safety cycle cap ({} cycles); \
+             the report covers a truncated run",
+            r.cycles
+        );
+        let strict = std::env::var("NDP_STRICT_TIMEOUT")
+            .map(|v| v == "1" || v.eq_ignore_ascii_case("true"))
+            .unwrap_or(false);
+        if strict {
+            std::process::exit(2);
+        }
+    }
+}

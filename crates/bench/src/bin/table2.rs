@@ -5,12 +5,28 @@ use ndp_common::SystemConfig;
 fn main() {
     let c = SystemConfig::default();
     println!("Table 2: system configuration\n");
-    println!("{}", serde_json::to_string_pretty(&c).expect("serializable"));
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&c).expect("serializable")
+    );
     println!();
     println!("derived:");
-    println!("  GPU off-chip bandwidth : {:.0} GB/s per direction", c.gpu_offchip_gbps());
-    println!("  aggregate DRAM bandwidth: {:.0} GB/s", c.aggregate_dram_gbps());
-    println!("  NSU clock divider       : {} (SM {} MHz / NSU {} MHz)",
-        c.nsu_divider(), c.gpu.sm_clock_mhz, c.nsu.clock_mhz);
-    println!("  SM NDP buffer storage   : {} B per SM (paper: 2.84 KB)", c.sm_ndp_buffer_bytes());
+    println!(
+        "  GPU off-chip bandwidth : {:.0} GB/s per direction",
+        c.gpu_offchip_gbps()
+    );
+    println!(
+        "  aggregate DRAM bandwidth: {:.0} GB/s",
+        c.aggregate_dram_gbps()
+    );
+    println!(
+        "  NSU clock divider       : {} (SM {} MHz / NSU {} MHz)",
+        c.nsu_divider(),
+        c.gpu.sm_clock_mhz,
+        c.nsu.clock_mhz
+    );
+    println!(
+        "  SM NDP buffer storage   : {} B per SM (paper: 2.84 KB)",
+        c.sm_ndp_buffer_bytes()
+    );
 }

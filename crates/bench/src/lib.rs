@@ -67,7 +67,10 @@ pub fn print_speedups(m: &Matrix, baseline: &str) {
     let mut gm = vec!["GMEAN".to_string()];
     for ci in 0..m.configs.len() {
         let sp = m.speedups(&m.configs[ci], baseline);
-        gm.push(format!("{:.3}", ndp_common::stats::geomean(&sp)));
+        gm.push(match ndp_common::stats::geomean(&sp) {
+            Some(g) => format!("{g:.3}"),
+            None => "n/a".to_string(),
+        });
     }
     rows.push(gm);
     println!("{}", ndp_core::table::render(&headers, &rows));
@@ -75,6 +78,38 @@ pub fn print_speedups(m: &Matrix, baseline: &str) {
         if row.timed_out {
             println!("WARNING: {} / {} timed out", row.config, row.workload);
         }
+    }
+}
+
+/// Surface timed-out runs loudly on stderr (the in-table WARNING lines are
+/// easy to miss in redirected output) and return how many there were.
+pub fn warn_timeouts(m: &Matrix) -> usize {
+    let mut n = 0;
+    for row in m.results.iter().flatten() {
+        if row.timed_out {
+            eprintln!(
+                "error: run timed out at the safety cycle cap: {} / {} ({} cycles) — \
+                 figures derived from it are invalid",
+                row.config, row.workload, row.cycles
+            );
+            n += 1;
+        }
+    }
+    if n > 0 {
+        eprintln!("error: {n} run(s) timed out; set NDP_STRICT_TIMEOUT=1 to make this fatal");
+    }
+    n
+}
+
+/// Warn about timeouts and, when `NDP_STRICT_TIMEOUT=1` is set, exit
+/// nonzero so CI and scripts cannot silently consume truncated results.
+pub fn enforce_timeouts(m: &Matrix) {
+    let n = warn_timeouts(m);
+    let strict = std::env::var("NDP_STRICT_TIMEOUT")
+        .map(|v| v == "1" || v.eq_ignore_ascii_case("true"))
+        .unwrap_or(false);
+    if n > 0 && strict {
+        std::process::exit(2);
     }
 }
 
@@ -96,7 +131,10 @@ pub fn dump_json(path: &str, m: &Matrix) {
         .iter()
         .enumerate()
         .flat_map(|(ci, c)| {
-            m.workloads.iter().enumerate().map(move |(wi, w)| (ci, c, wi, w))
+            m.workloads
+                .iter()
+                .enumerate()
+                .map(move |(wi, w)| (ci, c, wi, w))
         })
         .map(|(ci, c, wi, w)| {
             let r: &RunResult = &m.results[ci][wi];

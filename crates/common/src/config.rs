@@ -312,30 +312,34 @@ impl SystemConfig {
 
     /// Naive NDP: every offload-block instance is offloaded (§6).
     pub fn naive_ndp() -> Self {
-        let mut c = Self::default();
-        c.offload = OffloadPolicy::Always;
-        c
+        Self {
+            offload: OffloadPolicy::Always,
+            ..Self::default()
+        }
     }
 
     /// NDP with a static offload ratio (§7.1).
     pub fn ndp_static(ratio: f64) -> Self {
-        let mut c = Self::default();
-        c.offload = OffloadPolicy::Static(ratio);
-        c
+        Self {
+            offload: OffloadPolicy::Static(ratio),
+            ..Self::default()
+        }
     }
 
     /// NDP with the dynamic hill-climbing ratio (§7.2).
     pub fn ndp_dynamic() -> Self {
-        let mut c = Self::default();
-        c.offload = OffloadPolicy::Dynamic;
-        c
+        Self {
+            offload: OffloadPolicy::Dynamic,
+            ..Self::default()
+        }
     }
 
     /// NDP with dynamic ratio + cache-locality gating (§7.3).
     pub fn ndp_dynamic_cache() -> Self {
-        let mut c = Self::default();
-        c.offload = OffloadPolicy::DynamicCacheAware;
-        c
+        Self {
+            offload: OffloadPolicy::DynamicCacheAware,
+            ..Self::default()
+        }
     }
 
     /// Bytes a link moves per SM cycle, given its GB/s rating.

@@ -29,6 +29,12 @@ impl CreditPool {
         self.capacity
     }
 
+    /// Credits currently reserved (occupancy of the buffer this pool
+    /// guards) — what the observability sampler plots over time.
+    pub fn in_use(&self) -> usize {
+        self.capacity - self.available
+    }
+
     /// Try to reserve `n` credits; all-or-nothing.
     pub fn try_reserve(&mut self, n: usize) -> bool {
         if self.available >= n {
@@ -107,9 +113,11 @@ mod tests {
         let mut p = CreditPool::new(4);
         assert!(p.try_reserve(3));
         assert_eq!(p.available(), 1);
+        assert_eq!(p.in_use(), 3);
         assert!(!p.try_reserve(2));
         p.release(3);
         assert_eq!(p.available(), 4);
+        assert_eq!(p.in_use(), 0);
     }
 
     #[test]

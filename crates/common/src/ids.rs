@@ -1,5 +1,7 @@
 //! Identifier newtypes shared across the simulator.
 
+use serde::Serialize;
+
 /// Simulation time, measured in GPU SM cycles (700 MHz in the default
 /// configuration). Other clock domains (DRAM at 666 MHz, NSU at 350/175 MHz)
 /// are derived from this timebase with per-component dividers.
@@ -36,11 +38,11 @@ pub struct OffloadId {
 /// simulator-internal handle (strictly increasing, never reused) used to
 /// index in-flight offload state without worrying about (sm, warp) reuse
 /// across completed blocks.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize)]
 pub struct OffloadToken(pub u64);
 
 /// Addressable endpoints of the simulated system.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
 pub enum Node {
     /// A GPU streaming multiprocessor.
     Sm(u16),

@@ -5,14 +5,17 @@
 //! message formats of the partitioned-execution protocol (Fig. 4), a
 //! bandwidth-modelled link primitive, credit pools for the NSU buffer
 //! reservation scheme (§4.3), deterministic value/hash functions used to
-//! synthesize memory contents, and the page→HMC mapping (§5, random 4 KB
-//! page interleaving).
+//! synthesize memory contents, the page→HMC mapping (§5, random 4 KB
+//! page interleaving), and the unified observability layer ([`obs`]:
+//! latency histograms, occupancy time-series, protocol event tracing and
+//! Chrome-trace export).
 
 pub mod config;
 pub mod credit;
 pub mod ids;
 pub mod link;
 pub mod memmap;
+pub mod obs;
 pub mod packet;
 pub mod rng;
 pub mod stats;

@@ -65,7 +65,7 @@ impl MemMap {
         let line = addr / self.line_bytes;
         let vault_local = line / self.vaults; // line index within the vault
         let bank = (vault_local % self.banks) as u8;
-        let row = vault_local / self.banks * self.line_bytes / self.row_bytes.min(u64::MAX);
+        let row = vault_local / self.banks * self.line_bytes / self.row_bytes;
         // Rows hold row_bytes/line_bytes lines of the same bank.
         let lines_per_row = (self.row_bytes / self.line_bytes).max(1);
         let row = row.max(vault_local / self.banks / lines_per_row);

@@ -185,7 +185,9 @@ impl Packet {
             PacketKind::ReadResp { bytes, .. } => HEADER_BYTES + bytes,
             PacketKind::WriteReq { words, .. } => HEADER_BYTES + words * WORD_BYTES,
             PacketKind::WriteAck { .. } => HEADER_BYTES / 2,
-            PacketKind::OffloadCmd { regs_in, active, .. } => {
+            PacketKind::OffloadCmd {
+                regs_in, active, ..
+            } => {
                 // Shaded fields of Fig. 4(a): (register size) × (#regs) ×
                 // (#active threads), present only when registers transfer.
                 HEADER_BYTES + (*regs_in as u32) * WORD_BYTES * (*active as u32)
@@ -250,6 +252,21 @@ impl Packet {
         "CacheInval",
         "OffloadAck",
     ];
+
+    /// The offload token this packet belongs to, for the NDP-protocol
+    /// packets that carry one (tracing and transaction tracking).
+    pub fn token(&self) -> Option<OffloadToken> {
+        match self.kind {
+            PacketKind::OffloadCmd { token, .. }
+            | PacketKind::Rdf { token, .. }
+            | PacketKind::RdfResp { token, .. }
+            | PacketKind::Wta { token, .. }
+            | PacketKind::NsuWrite { token, .. }
+            | PacketKind::NsuWriteAck { token }
+            | PacketKind::OffloadAck { token, .. } => Some(token),
+            _ => None,
+        }
+    }
 
     /// True for the NDP-protocol packets introduced by the paper (used to
     /// separate protocol overhead from baseline traffic in reports).

@@ -1,6 +1,8 @@
 //! Simulation statistics: traffic classes, cache counters, no-issue cycle
 //! attribution (Fig. 8), and small numeric helpers for reports.
 
+use serde::Serialize;
+
 /// Where bytes moved — the four energy/traffic domains of Fig. 10.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TrafficClass {
@@ -27,7 +29,7 @@ pub enum NoIssue {
 }
 
 /// Per-SM issue statistics.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
 pub struct IssueStats {
     pub issued: u64,
     pub exec_unit_busy: u64,
@@ -57,7 +59,7 @@ impl IssueStats {
 }
 
 /// Cache hit/miss counters.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
 pub struct CacheStats {
     pub read_hits: u64,
     pub read_misses: u64,
@@ -88,7 +90,7 @@ impl CacheStats {
 
 /// DRAM activity counters (for energy: activations at 11.8 nJ/4 KB row,
 /// column reads at 4 pJ/bit).
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
 pub struct DramStats {
     pub activations: u64,
     pub col_reads: u64,
@@ -107,23 +109,24 @@ impl DramStats {
     }
 }
 
-/// Geometric mean of positive values (used for GMEAN columns).
-pub fn geomean(values: &[f64]) -> f64 {
-    assert!(!values.is_empty(), "geomean of empty slice");
-    let log_sum: f64 = values
-        .iter()
-        .map(|&v| {
-            assert!(v > 0.0, "geomean needs positive values, got {v}");
-            v.ln()
-        })
-        .sum();
-    (log_sum / values.len() as f64).exp()
+/// Geometric mean (used for GMEAN columns). Returns `None` on an empty
+/// slice or when any value is non-positive (where the geomean is
+/// undefined), so sweep/report generation degrades to "n/a" instead of
+/// aborting a whole run.
+pub fn geomean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() || values.iter().any(|&v| v <= 0.0) {
+        return None;
+    }
+    let log_sum: f64 = values.iter().map(|&v| v.ln()).sum();
+    Some((log_sum / values.len() as f64).exp())
 }
 
-/// Arithmetic mean.
-pub fn mean(values: &[f64]) -> f64 {
-    assert!(!values.is_empty());
-    values.iter().sum::<f64>() / values.len() as f64
+/// Arithmetic mean. Returns `None` on an empty slice.
+pub fn mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    Some(values.iter().sum::<f64>() / values.len() as f64)
 }
 
 #[cfg(test)]
@@ -154,8 +157,17 @@ mod tests {
 
     #[test]
     fn geomean_matches_known_values() {
-        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
-        assert!((geomean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean(&[1.0, 4.0]).unwrap() - 2.0).abs() < 1e-12);
+        assert!((geomean(&[2.0, 2.0, 2.0]).unwrap() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs_yield_none_not_panic() {
+        assert_eq!(geomean(&[]), None);
+        assert_eq!(geomean(&[1.0, 0.0]), None);
+        assert_eq!(geomean(&[1.0, -2.0]), None);
+        assert_eq!(mean(&[]), None);
+        assert_eq!(mean(&[2.0, 4.0]), Some(3.0));
     }
 
     #[test]

@@ -103,7 +103,10 @@ fn global_only_segments(program: &Program, bb: (usize, usize)) -> Vec<(usize, us
         let Item::Op(i) = &program.items[idx] else {
             unreachable!()
         };
-        let excluded = matches!(i.mem_space(), Some(MemSpace::Shared) | Some(MemSpace::Const));
+        let excluded = matches!(
+            i.mem_space(),
+            Some(MemSpace::Shared) | Some(MemSpace::Const)
+        );
         if excluded {
             if idx > start {
                 segs.push((start, idx));
@@ -141,9 +144,8 @@ pub fn compile(program: &Program, cfg: &CompilerConfig) -> CompiledKernel {
                 // instructions pay off is decided by the score: they join
                 // the block only when they don't inflate the register
                 // transfer overhead.
-                let first_mem = (cursor..e).find(
-                    |&i| matches!(&program.items[i], Item::Op(op) if op.is_global_mem()),
-                );
+                let first_mem = (cursor..e)
+                    .find(|&i| matches!(&program.items[i], Item::Op(op) if op.is_global_mem()));
                 let Some(first_mem) = first_mem else { break };
                 let ends: Vec<usize> = (first_mem + 1..=e).collect();
                 let mut best: Option<(i64, usize, Vec<InstrRole>)> = None;
@@ -157,7 +159,7 @@ pub fn compile(program: &Program, cfg: &CompilerConfig) -> CompiledKernel {
                         break; // extending further cannot remove the dep
                     }
                     let (sc, roles) = score(program, cursor, cand_end, cfg);
-                    if best.as_ref().map_or(true, |(b, _, _)| sc > *b) {
+                    if best.as_ref().is_none_or(|(b, _, _)| sc > *b) {
                         best = Some((sc, cand_end, roles));
                     }
                 }
@@ -227,8 +229,8 @@ pub fn compile(program: &Program, cfg: &CompilerConfig) -> CompiledKernel {
     let mut block_starting_at = vec![None; program.items.len()];
     for b in &blocks {
         block_starting_at[b.start] = Some(b.id as u16);
-        for idx in b.start..b.end {
-            role_map[idx] = Some((b.id as u16, b.roles[idx - b.start]));
+        for (off, slot) in role_map[b.start..b.end].iter_mut().enumerate() {
+            *slot = Some((b.id as u16, b.roles[off]));
         }
     }
 
@@ -252,17 +254,37 @@ mod tests {
         let t = |r| Operand::Reg(Reg(r));
         p.items = vec![
             // R1 = tid*4
-            Item::Op(Instr::alu(AluOp::IMul, Reg(1), Operand::Tid, Operand::Imm(4))),
+            Item::Op(Instr::alu(
+                AluOp::IMul,
+                Reg(1),
+                Operand::Tid,
+                Operand::Imm(4),
+            )),
             // R2 = &A[tid]; R3 = A[tid]
-            Item::Op(Instr::alu(AluOp::IAdd, Reg(2), t(1), Operand::Imm(0x10_0000))),
+            Item::Op(Instr::alu(
+                AluOp::IAdd,
+                Reg(2),
+                t(1),
+                Operand::Imm(0x10_0000),
+            )),
             Item::Op(Instr::ld(Reg(3), Reg(2))),
             // R4 = &B[tid]; R5 = B[tid]
-            Item::Op(Instr::alu(AluOp::IAdd, Reg(4), t(1), Operand::Imm(0x20_0000))),
+            Item::Op(Instr::alu(
+                AluOp::IAdd,
+                Reg(4),
+                t(1),
+                Operand::Imm(0x20_0000),
+            )),
             Item::Op(Instr::ld(Reg(5), Reg(4))),
             // R6 = A+B
             Item::Op(Instr::alu(AluOp::FAdd, Reg(6), t(3), t(5))),
             // R7 = &C[tid]; C[tid] = R6
-            Item::Op(Instr::alu(AluOp::IAdd, Reg(7), t(1), Operand::Imm(0x30_0000))),
+            Item::Op(Instr::alu(
+                AluOp::IAdd,
+                Reg(7),
+                t(1),
+                Operand::Imm(0x30_0000),
+            )),
             Item::Op(Instr::st(Reg(6), Reg(7))),
         ];
         p
@@ -379,7 +401,12 @@ mod tests {
         let mut p = Program::new("loop", 4);
         let t = |r| Operand::Reg(Reg(r));
         p.items = vec![
-            Item::Op(Instr::alu(AluOp::IMul, Reg(1), Operand::Tid, Operand::Imm(4))),
+            Item::Op(Instr::alu(
+                AluOp::IMul,
+                Reg(1),
+                Operand::Tid,
+                Operand::Imm(4),
+            )),
             Item::LoopBegin(TripCount::Const(16)),
             Item::Op(Instr::alu3(
                 AluOp::IMad,
@@ -388,10 +415,20 @@ mod tests {
                 Operand::Imm(0x1000),
                 t(1),
             )),
-            Item::Op(Instr::alu(AluOp::IAdd, Reg(3), t(2), Operand::Imm(0x10_0000))),
+            Item::Op(Instr::alu(
+                AluOp::IAdd,
+                Reg(3),
+                t(2),
+                Operand::Imm(0x10_0000),
+            )),
             Item::Op(Instr::ld(Reg(4), Reg(3))),
             Item::Op(Instr::alu(AluOp::FMul, Reg(5), t(4), t(4))),
-            Item::Op(Instr::alu(AluOp::IAdd, Reg(6), t(2), Operand::Imm(0x20_0000))),
+            Item::Op(Instr::alu(
+                AluOp::IAdd,
+                Reg(6),
+                t(2),
+                Operand::Imm(0x20_0000),
+            )),
             Item::Op(Instr::st(Reg(5), Reg(6))),
             Item::LoopEnd,
         ];
@@ -464,12 +501,16 @@ mod tests {
             Item::Op(Instr::alu(AluOp::FAdd, Reg(5), t(4), t(2))),
             Item::Op(Instr::st(Reg(5), Reg(1))),
         ];
-        let mut cfg = CompilerConfig::default();
-        cfg.indirect_rule = false;
+        let cfg = CompilerConfig {
+            indirect_rule: false,
+            ..Default::default()
+        };
         let ck = compile(&p, &cfg);
         assert!(ck.blocks.iter().all(|b| !b.indirect));
-        let mut cfg = CompilerConfig::default();
-        cfg.indirect_rule = true;
+        let cfg = CompilerConfig {
+            indirect_rule: true,
+            ..Default::default()
+        };
         let ck = compile(&p, &cfg);
         assert!(ck.blocks.iter().any(|b| b.indirect));
     }

@@ -55,7 +55,12 @@ mod tests {
         let mut p = Program::new("t", 1);
         let t = |r| Operand::Reg(Reg(r));
         p.items = vec![
-            Item::Op(Instr::alu(AluOp::IMul, Reg(1), Operand::Tid, Operand::Imm(4))),
+            Item::Op(Instr::alu(
+                AluOp::IMul,
+                Reg(1),
+                Operand::Tid,
+                Operand::Imm(4),
+            )),
             Item::Op(Instr::alu(AluOp::IAdd, Reg(2), t(1), Operand::Imm(0x1000))),
             Item::Op(Instr::ld(Reg(3), Reg(2))),
             Item::Op(Instr::alu(AluOp::FAdd, Reg(4), t(3), t(3))),

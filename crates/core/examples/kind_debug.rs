@@ -9,7 +9,10 @@ fn main() {
     let w = workload(&name).expect("workload name");
     let mut cfg: SystemConfig = SystemConfig::naive_ndp();
     cfg.gpu.num_sms = 8;
-    let p = w.build(&Scale { warps: 128, iters: 8 });
+    let p = w.build(&Scale {
+        warps: 128,
+        iters: 8,
+    });
     let sys = System::new(cfg, &p);
     let r = sys.run_with_kind_stats(30_000_000);
     println!("cycles {} link bytes {}", r.0.cycles, r.0.gpu_link_bytes);

@@ -139,7 +139,10 @@ mod tests {
         base.gpu.num_sms = 4;
         let mut ndp = SystemConfig::naive_ndp();
         ndp.gpu.num_sms = 4;
-        let scale = Scale { warps: 32, iters: 2 };
+        let scale = Scale {
+            warps: 32,
+            iters: 2,
+        };
         let m = run_matrix(
             &[("Baseline", base), ("NaiveNDP", ndp)],
             &[Workload::Vadd, Workload::Sp],

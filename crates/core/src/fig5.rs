@@ -7,6 +7,7 @@
 //! otherwise (it crosses the memory network once). Policies:
 //!   * *first*: the stack of the first access becomes the target;
 //!   * *optimal*: the stack holding the most accesses becomes the target.
+//!
 //! The figure plots traffic normalized to `n` (every access remote).
 
 use ndp_common::rng::{bounded, splitmix64};

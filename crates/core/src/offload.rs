@@ -100,7 +100,9 @@ impl HillClimb {
         if self.cfg.step_unit <= self.ratio && self.ratio <= 1.0 - self.cfg.step_unit {
             self.ratio += self.dir * self.step;
         }
-        self.ratio = self.ratio.clamp(self.cfg.step_unit, 1.0 - self.cfg.step_unit);
+        self.ratio = self
+            .ratio
+            .clamp(self.cfg.step_unit, 1.0 - self.cfg.step_unit);
         self.prev_ipc = Some(cur);
     }
 }
@@ -233,9 +235,8 @@ impl OffloadController {
         let benefit = lines * miss * self.line_bytes
             + b.n_stores() as f64 * self.warp_width * self.word_bytes;
         let hit_ship = lines * hit * words_per_line * self.word_bytes;
-        let reg_overhead = (b.live_in.len() + b.live_out.len()) as f64
-            * self.word_bytes
-            * self.warp_width;
+        let reg_overhead =
+            (b.live_in.len() + b.live_out.len()) as f64 * self.word_bytes * self.warp_width;
         benefit - hit_ship - reg_overhead
     }
 
@@ -361,8 +362,10 @@ mod tests {
     }
 
     fn ctl(policy: OffloadPolicy) -> OffloadController {
-        let mut cfg = SystemConfig::default();
-        cfg.offload = policy;
+        let cfg = SystemConfig {
+            offload: policy,
+            ..Default::default()
+        };
         OffloadController::new(&cfg, blocks())
     }
 
@@ -452,8 +455,10 @@ mod tests {
     }
 
     fn ctl_loads_only(policy: OffloadPolicy) -> OffloadController {
-        let mut cfg = SystemConfig::default();
-        cfg.offload = policy;
+        let cfg = SystemConfig {
+            offload: policy,
+            ..Default::default()
+        };
         let b = Arc::new(vec![OffloadBlock {
             id: 0,
             start: 0,
@@ -499,8 +504,10 @@ mod tests {
 
     #[test]
     fn ro_cache_directory_hits_after_first_ship() {
-        let mut cfg = SystemConfig::default();
-        cfg.offload = OffloadPolicy::Always;
+        let mut cfg = SystemConfig {
+            offload: OffloadPolicy::Always,
+            ..Default::default()
+        };
         cfg.nsu.readonly_cache_bytes = 256; // two lines
         let mut c = OffloadController::new(&cfg, blocks());
         assert!(!c.nsu_ro_cached(HmcId(0), 0x1000), "first touch ships data");

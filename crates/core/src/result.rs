@@ -1,10 +1,12 @@
 //! Simulation results: everything the figure drivers need.
 
+use ndp_common::obs::ObsReport;
 use ndp_common::stats::{CacheStats, DramStats, IssueStats};
 use ndp_energy::{Activity, EnergyBreakdown, EnergyParams};
+use serde::Serialize;
 
 /// Aggregated outcome of one simulation run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
 pub struct RunResult {
     pub workload: String,
     pub config: String,
@@ -41,6 +43,9 @@ pub struct RunResult {
     pub sm_buffer_peaks: (usize, usize),
     /// Pieces for the energy model.
     pub activity: Activity,
+    /// Observability report (latency histograms, occupancy time-series,
+    /// protocol events) — `Some` only when observability was enabled.
+    pub obs: Option<ObsReport>,
 }
 
 impl RunResult {
@@ -79,10 +84,14 @@ mod tests {
 
     #[test]
     fn derived_metrics() {
-        let mut a = RunResult::default();
-        a.cycles = 200;
-        let mut b = RunResult::default();
-        b.cycles = 100;
+        let a = RunResult {
+            cycles: 200,
+            ..Default::default()
+        };
+        let mut b = RunResult {
+            cycles: 100,
+            ..Default::default()
+        };
         assert_eq!(b.speedup_over(&a), 2.0);
         b.gpu_link_bytes = 1000;
         b.inval_bytes = 4;

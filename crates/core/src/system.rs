@@ -5,6 +5,8 @@ use std::sync::Arc;
 use ndp_common::config::{OffloadPolicy, SystemConfig};
 use ndp_common::ids::{Cycle, HmcId, Node};
 use ndp_common::link::Link;
+use ndp_common::obs::{Obs, ObsConfig};
+use ndp_common::packet::Packet;
 use ndp_compiler::{compile, CompiledKernel, CompilerConfig};
 use ndp_energy::Activity;
 use ndp_gpu::sm::{Sm, SmConfig};
@@ -33,6 +35,9 @@ pub struct System {
     pub ctrl: OffloadController,
     /// Optional packet tracer (Fig. 2 walkthroughs); disabled by default.
     pub tracer: Tracer,
+    /// Optional observability layer (latency histograms, occupancy
+    /// time-series, event export); disabled by default.
+    pub obs: Obs,
     now: Cycle,
     ndp_on: bool,
     nsu_div: u64,
@@ -100,6 +105,7 @@ impl System {
             nsus,
             ctrl,
             tracer: Tracer::disabled(),
+            obs: Obs::disabled(),
             now: 0,
             ndp_on,
             nsu_div,
@@ -109,6 +115,13 @@ impl System {
     /// Record up to `limit` packet movements for protocol inspection.
     pub fn enable_trace(&mut self, limit: usize) {
         self.tracer = Tracer::enabled(limit);
+    }
+
+    /// Turn on the observability layer (transaction-latency tracking,
+    /// occupancy sampling, protocol event recording). Observation is
+    /// read-only: enabling it never perturbs simulation outcomes.
+    pub fn enable_obs(&mut self, cfg: ObsConfig) {
+        self.obs = Obs::new(cfg);
     }
 
     /// One SM-clock cycle.
@@ -132,7 +145,7 @@ impl System {
                     break;
                 }
                 let p = sm.out.pop_front().expect("front exists");
-                self.tracer.record(now, TraceSite::SmEject, &p);
+                observe(&mut self.tracer, &mut self.obs, now, TraceSite::SmEject, &p);
                 self.slices[h].from_sm(now, p);
             }
         }
@@ -157,7 +170,13 @@ impl System {
         for (h, l) in self.up.iter_mut().enumerate() {
             l.tick(now);
             while let Some(p) = l.pop_ready(now) {
-                self.tracer.record(now, TraceSite::GpuLinkUp, &p);
+                observe(
+                    &mut self.tracer,
+                    &mut self.obs,
+                    now,
+                    TraceSite::GpuLinkUp,
+                    &p,
+                );
                 self.stacks[h].accept(p);
             }
         }
@@ -177,7 +196,7 @@ impl System {
                 self.net.inject(HmcId(h as u8), p).expect("checked");
             }
             while let Some(p) = self.stacks[h].to_nsu.pop_front() {
-                self.tracer.record(now, TraceSite::ToNsu, &p);
+                observe(&mut self.tracer, &mut self.obs, now, TraceSite::ToNsu, &p);
                 self.nsus[h].deliver(p);
             }
             while !self.stacks[h].to_gpu.is_empty() && self.down[h].can_accept() {
@@ -197,11 +216,11 @@ impl System {
 
         // 9. NSUs run at SM-clock / divider (350 MHz default, §7.6 studies
         //    175 MHz); credits return to the buffer manager piggybacked.
-        if self.ndp_on && now % self.nsu_div == 0 {
+        if self.ndp_on && now.is_multiple_of(self.nsu_div) {
             for h in 0..self.nsus.len() {
                 self.nsus[h].tick(now);
                 while let Some(p) = self.nsus[h].out.pop_front() {
-                    self.tracer.record(now, TraceSite::FromNsu, &p);
+                    observe(&mut self.tracer, &mut self.obs, now, TraceSite::FromNsu, &p);
                     self.stacks[h].accept(p);
                 }
                 let c = self.nsus[h].take_credits();
@@ -221,7 +240,13 @@ impl System {
         for (h, l) in self.down.iter_mut().enumerate() {
             l.tick(now);
             while let Some(p) = l.pop_ready(now) {
-                self.tracer.record(now, TraceSite::GpuLinkDown, &p);
+                observe(
+                    &mut self.tracer,
+                    &mut self.obs,
+                    now,
+                    TraceSite::GpuLinkDown,
+                    &p,
+                );
                 match p.dst {
                     Node::L2(_) => {
                         if matches!(p.kind, ndp_common::packet::PacketKind::CacheInval { .. }) {
@@ -249,13 +274,63 @@ impl System {
         // 12. Controller epochs.
         self.ctrl.on_cycle(now);
 
+        // 13. Occupancy sampling (observability only; never feeds back).
+        if self.obs.sample_due(now) {
+            self.sample_occupancy();
+        }
+
         self.now += 1;
+    }
+
+    /// Push one occupancy sample of every hot queue into the time-series
+    /// set. Called on the observability sampling interval only.
+    fn sample_occupancy(&mut self) {
+        let (mut pend, mut ready) = (0usize, 0usize);
+        for sm in &self.sms {
+            let (p, r) = sm.ndp_buffer_depths();
+            pend += p;
+            ready += r;
+        }
+        self.obs.offer_sample("sm_ndp_pending", pend as f64);
+        self.obs.offer_sample("sm_ndp_ready", ready as f64);
+
+        let (mut cmd, mut rd, mut wr, mut slots) = (0usize, 0usize, 0usize, 0usize);
+        for n in &self.nsus {
+            let (c, r, w) = n.buffer_depths();
+            cmd += c;
+            rd += r;
+            wr += w;
+            slots += n.occupied_slots();
+        }
+        self.obs.offer_sample("nsu_cmd_queue", cmd as f64);
+        self.obs.offer_sample("nsu_read_data", rd as f64);
+        self.obs.offer_sample("nsu_write_addr", wr as f64);
+        self.obs.offer_sample("nsu_warp_slots", slots as f64);
+
+        let (cc, cr, cw) = self.ctrl.mgr.total_in_use();
+        self.obs.offer_sample("credit_cmd_in_use", cc as f64);
+        self.obs.offer_sample("credit_read_in_use", cr as f64);
+        self.obs.offer_sample("credit_write_in_use", cw as f64);
+
+        let up: usize = self.up.iter().map(|l| l.in_transit()).sum();
+        let down: usize = self.down.iter().map(|l| l.in_transit()).sum();
+        self.obs.offer_sample("gpu_link_up_in_transit", up as f64);
+        self.obs
+            .offer_sample("gpu_link_down_in_transit", down as f64);
+
+        let vq: usize = self.stacks.iter().map(|s| s.queued_requests()).sum();
+        self.obs.offer_sample("vault_queued", vq as f64);
+        self.obs
+            .offer_sample("memnet_in_flight", self.net.queued_packets() as f64);
     }
 
     /// Everything drained?
     pub fn is_done(&self) -> bool {
         self.sms.iter().all(|s| s.is_done())
-            && self.slices.iter().all(|s| s.is_idle() && s.writes_outstanding == 0)
+            && self
+                .slices
+                .iter()
+                .all(|s| s.is_idle() && s.writes_outstanding == 0)
             && self.up.iter().all(|l| l.is_idle())
             && self.down.iter().all(|l| l.is_idle())
             && self.stacks.iter().all(|s| !s.busy())
@@ -269,7 +344,7 @@ impl System {
         let mut timed_out = true;
         while self.now < max_cycles {
             self.tick();
-            if self.now % 256 == 0 && self.is_done() {
+            if self.now.is_multiple_of(256) && self.is_done() {
                 timed_out = false;
                 break;
             }
@@ -279,8 +354,8 @@ impl System {
         }
         let mut kinds = [0u64; 12];
         for l in self.up.iter().chain(self.down.iter()) {
-            for i in 0..12 {
-                kinds[i] += l.stats.kind_bytes[i];
+            for (total, b) in kinds.iter_mut().zip(l.stats.kind_bytes.iter()) {
+                *total += b;
             }
         }
         (self.collect(timed_out), kinds)
@@ -291,7 +366,7 @@ impl System {
         let mut timed_out = true;
         while self.now < max_cycles {
             self.tick();
-            if self.now % 256 == 0 && self.is_done() {
+            if self.now.is_multiple_of(256) && self.is_done() {
                 timed_out = false;
                 break;
             }
@@ -359,8 +434,20 @@ impl System {
             num_hmcs: self.stacks.len(),
             memnet_powered: self.ndp_on,
         };
+        if self.obs.is_on() {
+            r.obs = Some(self.obs.report());
+        }
         r
     }
+}
+
+/// Record one packet movement into both observation sinks. A free function
+/// (rather than a `System` method) so it stays callable where other fields
+/// of `System` are mutably borrowed.
+#[inline]
+fn observe(tracer: &mut Tracer, obs: &mut Obs, now: Cycle, site: TraceSite, p: &Packet) {
+    tracer.record(now, site, p);
+    obs.on_packet(now, site, p);
 }
 
 #[cfg(test)]
@@ -433,7 +520,10 @@ mod tests {
         // flight anywhere — a page swap into any stack would be safe.
         let mut cfg = SystemConfig::naive_ndp();
         cfg.gpu.num_sms = 8;
-        let p = Workload::Vadd.build(&ndp_workloads::Scale { warps: 64, iters: 4 });
+        let p = Workload::Vadd.build(&ndp_workloads::Scale {
+            warps: 64,
+            iters: 4,
+        });
         let mut sys = System::new(cfg, &p);
         let mut saw_unsafe = false;
         for _ in 0..2_000_000u64 {

@@ -52,16 +52,13 @@ mod tests {
     fn renders_aligned_table() {
         let t = render(
             &["wl", "speedup"],
-            &[
-                vec!["VADD".into(), f3(1.25)],
-                vec!["KMN".into(), f3(1.668)],
-            ],
+            &[vec!["VADD".into(), f3(1.25)], vec!["KMN".into(), f3(1.668)]],
         );
         assert!(t.contains("VADD"));
         assert!(t.contains("1.668"));
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 4);
-        assert_eq!(lines[1].chars().all(|c| c == '-'), true);
+        assert!(lines[1].chars().all(|c| c == '-'));
     }
 
     #[test]

@@ -1,57 +1,21 @@
 //! Lightweight packet tracing for protocol walkthroughs (Fig. 2).
 //!
-//! When enabled, the system records packet movements at its routing points
-//! (bounded ring); the `trace_fig2` example replays the life of one
-//! offload-block instance as the paper's ①–⑨ message sequence.
+//! The recording machinery lives in [`ndp_common::obs`] — the same
+//! [`EventRing`] that backs the Chrome-trace exporter. This module keeps the
+//! `Tracer` facade (enable/disable semantics the `trace_fig2` example uses)
+//! and the Fig. 2(b)-style textual rendering of one offload instance.
 
-use ndp_common::ids::{Cycle, Node, OffloadToken};
-use ndp_common::packet::{Packet, PacketKind};
-
-/// Where in the system a packet was observed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum TraceSite {
-    /// Ejected from an SM into the on-die interconnect.
-    SmEject,
-    /// Delivered up a GPU link into a stack's logic layer.
-    GpuLinkUp,
-    /// Handed from a stack's logic layer to its NSU.
-    ToNsu,
-    /// Emitted by an NSU back into its stack.
-    FromNsu,
-    /// Delivered down a GPU link to the GPU.
-    GpuLinkDown,
-}
-
-impl TraceSite {
-    pub fn name(&self) -> &'static str {
-        match self {
-            TraceSite::SmEject => "SM→icnt",
-            TraceSite::GpuLinkUp => "link↑→HMC",
-            TraceSite::ToNsu => "xbar→NSU",
-            TraceSite::FromNsu => "NSU→xbar",
-            TraceSite::GpuLinkDown => "link↓→GPU",
-        }
-    }
-}
-
-/// One observed packet movement.
-#[derive(Debug, Clone)]
-pub struct TraceEvent {
-    pub cycle: Cycle,
-    pub site: TraceSite,
-    pub src: Node,
-    pub dst: Node,
-    pub size: u32,
-    pub kind: &'static str,
-    /// Offload token, for NDP-protocol packets.
-    pub token: Option<OffloadToken>,
-}
+use ndp_common::ids::OffloadToken;
+pub use ndp_common::obs::{EventRing, TraceEvent, TraceSite};
 
 /// Bounded event recorder (disabled ⇒ zero overhead beyond a branch).
+///
+/// A thin wrapper over [`EventRing`] adding instance rendering; the ring
+/// itself is shared with the observability layer so Fig.-2 tracing and
+/// Chrome-trace export go through one recording path.
 #[derive(Debug, Default)]
 pub struct Tracer {
-    events: Vec<TraceEvent>,
-    limit: usize,
+    ring: EventRing,
 }
 
 impl Tracer {
@@ -61,47 +25,37 @@ impl Tracer {
 
     pub fn enabled(limit: usize) -> Self {
         Tracer {
-            events: Vec::with_capacity(limit.min(4096)),
-            limit,
+            ring: EventRing::with_limit(limit),
         }
     }
 
     #[inline]
     pub fn is_on(&self) -> bool {
-        self.limit > 0 && self.events.len() < self.limit
+        self.ring.is_on()
     }
 
     #[inline]
-    pub fn record(&mut self, cycle: Cycle, site: TraceSite, p: &Packet) {
-        if !self.is_on() {
-            return;
-        }
-        self.events.push(TraceEvent {
-            cycle,
-            site,
-            src: p.src,
-            dst: p.dst,
-            size: p.size,
-            kind: Packet::KIND_NAMES[p.kind_index()],
-            token: token_of(p),
-        });
+    pub fn record(
+        &mut self,
+        cycle: ndp_common::ids::Cycle,
+        site: TraceSite,
+        p: &ndp_common::packet::Packet,
+    ) {
+        self.ring.record(cycle, site, p);
     }
 
     pub fn events(&self) -> &[TraceEvent] {
-        &self.events
+        self.ring.events()
     }
 
     /// All events belonging to one offload-block instance, in order.
     pub fn instance(&self, token: OffloadToken) -> Vec<&TraceEvent> {
-        self.events
-            .iter()
-            .filter(|e| e.token == Some(token))
-            .collect()
+        self.ring.instance(token)
     }
 
     /// The first offload token observed, if any.
     pub fn first_token(&self) -> Option<OffloadToken> {
-        self.events.iter().find_map(|e| e.token)
+        self.ring.first_token()
     }
 
     /// Render an instance's message flow in the style of Fig. 2(b).
@@ -127,22 +81,11 @@ impl Tracer {
     }
 }
 
-fn token_of(p: &Packet) -> Option<OffloadToken> {
-    match p.kind {
-        PacketKind::OffloadCmd { token, .. }
-        | PacketKind::Rdf { token, .. }
-        | PacketKind::RdfResp { token, .. }
-        | PacketKind::Wta { token, .. }
-        | PacketKind::NsuWrite { token, .. }
-        | PacketKind::NsuWriteAck { token }
-        | PacketKind::OffloadAck { token, .. } => Some(token),
-        _ => None,
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ndp_common::ids::Node;
+    use ndp_common::packet::{Packet, PacketKind};
 
     fn pkt(kind: PacketKind) -> Packet {
         Packet::new(Node::Sm(0), Node::Nsu(1), 5, kind)

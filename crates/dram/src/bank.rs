@@ -60,8 +60,13 @@ impl Bank {
             } else {
                 now
             };
-            let act_at = (pre_at + if self.open_row.is_some() { t.t_rp as u64 } else { 0 })
-                .max(self.next_act);
+            let act_at = (pre_at
+                + if self.open_row.is_some() {
+                    t.t_rp as u64
+                } else {
+                    0
+                })
+            .max(self.next_act);
             act_at + t.t_rcd as u64
         }
     }

@@ -125,7 +125,14 @@ impl<T> VaultController<T> {
         let req = self.queue.remove(i);
         let bursts = req.bytes.div_ceil(self.burst_bytes).max(1);
         let bank = &mut self.banks[req.bank as usize];
-        let sched = bank.schedule(now, req.row, bursts, req.is_write, self.bus_free, &self.timing);
+        let sched = bank.schedule(
+            now,
+            req.row,
+            bursts,
+            req.is_write,
+            self.bus_free,
+            &self.timing,
+        );
         self.bus_free = sched.cas_at + self.timing.t_ccd as u64 * bursts as u64;
         if sched.activated {
             self.stats.activations += 1;

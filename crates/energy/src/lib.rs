@@ -64,7 +64,7 @@ impl Default for EnergyParams {
 }
 
 /// Activity counters gathered from a simulation run.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct Activity {
     /// Wall-clock seconds of the simulated run.
     pub seconds: f64,

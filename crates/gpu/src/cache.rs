@@ -69,7 +69,10 @@ impl<W> Cache<W> {
 
     fn index(&self, line_addr: u64) -> (usize, u64) {
         let blk = line_addr >> self.line_shift;
-        ((blk & self.set_mask) as usize, blk >> self.set_mask.count_ones())
+        (
+            (blk & self.set_mask) as usize,
+            blk >> self.set_mask.count_ones(),
+        )
     }
 
     /// Is the line resident? (No stats side effects, no LRU update.)

@@ -19,11 +19,10 @@ pub fn coalesce(
     debug_assert!(line_bytes.is_power_of_two());
     let mask = !(line_bytes as u64 - 1);
     let mut out: Vec<LineAccess> = Vec::with_capacity(2);
-    for lane in 0..WARP_WIDTH {
+    for (lane, &addr) in addrs.iter().enumerate().take(WARP_WIDTH) {
         if active & (1 << lane) == 0 {
             continue;
         }
-        let addr = addrs[lane];
         let line = addr & mask;
         match out.iter_mut().find(|a| a.line == line) {
             Some(a) => a.lanes.push((lane as u8, addr)),
@@ -73,10 +72,7 @@ mod tests {
         let acc = coalesce(&unit_stride(0x1010), ALL, 4, 128);
         assert_eq!(acc.len(), 2);
         assert!(acc.iter().all(|a| a.misaligned));
-        assert_eq!(
-            acc.iter().map(|a| a.active_words()).sum::<u32>(),
-            32
-        );
+        assert_eq!(acc.iter().map(|a| a.active_words()).sum::<u32>(), 32);
     }
 
     #[test]

@@ -58,6 +58,19 @@ impl BufferManager {
             c.write_addr.available(),
         )
     }
+
+    /// Credits currently reserved across all HMCs, per buffer class:
+    /// `(cmd, read_data, write_addr)` — occupancy of the NSU buffers this
+    /// manager guards, as seen from the GPU side.
+    pub fn total_in_use(&self) -> (usize, usize, usize) {
+        self.per_hmc.iter().fold((0, 0, 0), |acc, c| {
+            (
+                acc.0 + c.cmd.in_use(),
+                acc.1 + c.read_data.in_use(),
+                acc.2 + c.write_addr.in_use(),
+            )
+        })
+    }
 }
 
 /// Per-SM pending + ready packet buffers (Table 2: 300 and 64 entries).

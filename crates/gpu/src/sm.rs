@@ -517,7 +517,11 @@ impl Sm {
                 r
             }
             Step::Store {
-                idx, space, addrs, active, ..
+                idx,
+                space,
+                addrs,
+                active,
+                ..
             } => {
                 if *lsu_free == 0 {
                     return IssueResult::ExecBusy;
@@ -995,6 +999,11 @@ impl Sm {
     pub fn buffer_peaks(&self) -> (usize, usize) {
         (self.buffers.pending_peak, self.buffers.ready_peak)
     }
+
+    /// Current pending/ready NDP buffer depths (occupancy sampling).
+    pub fn ndp_buffer_depths(&self) -> (usize, usize) {
+        (self.buffers.pending_len(), self.buffers.ready_len())
+    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -1039,9 +1048,10 @@ fn pick_target(accesses: &[LineAccess], memmap: &MemMap) -> HmcId {
 }
 
 fn ofl_block(slot: Option<&WarpSlot>) -> u16 {
-    slot.and_then(|s| s.ofl.as_ref()).map(|o| o.block).unwrap_or(0)
+    slot.and_then(|s| s.ofl.as_ref())
+        .map(|o| o.block)
+        .unwrap_or(0)
 }
-
 
 #[cfg(test)]
 mod tests {
@@ -1346,7 +1356,8 @@ mod tests {
                     _ => None,
                 })
                 .collect();
-            sm.out.retain(|p| !matches!(p.kind, PacketKind::ReadReq { .. }));
+            sm.out
+                .retain(|p| !matches!(p.kind, PacketKind::ReadReq { .. }));
             for (addr, tag) in fills {
                 sm.deliver(
                     now,
@@ -1383,10 +1394,16 @@ mod tests {
         let mut lines_by_hmc: HashMap<u8, Vec<u64>> = HashMap::new();
         for i in 0..4096u64 {
             let line = i * 128;
-            lines_by_hmc.entry(mm.hmc_of(line).0).or_default().push(line);
+            lines_by_hmc
+                .entry(mm.hmc_of(line).0)
+                .or_default()
+                .push(line);
         }
         let (&a, la) = lines_by_hmc.iter().next().expect("nonempty");
-        let (&b, lb) = lines_by_hmc.iter().find(|(h, v)| **h != a && v.len() >= 2).expect("two stacks");
+        let (&b, lb) = lines_by_hmc
+            .iter()
+            .find(|(h, v)| **h != a && v.len() >= 2)
+            .expect("two stacks");
         let acc = |line: u64| LineAccess {
             line,
             lanes: vec![(0, line)],

@@ -247,9 +247,9 @@ impl L2Slice {
                 }
             }
             // CMD / WTA / SM-generated RDF responses pass through untouched.
-            PacketKind::OffloadCmd { .. }
-            | PacketKind::Wta { .. }
-            | PacketKind::RdfResp { .. } => self.to_mem.push_back(p),
+            PacketKind::OffloadCmd { .. } | PacketKind::Wta { .. } | PacketKind::RdfResp { .. } => {
+                self.to_mem.push_back(p)
+            }
             other => panic!("L2 cannot consume {other:?} from SM side"),
         }
     }
@@ -299,10 +299,7 @@ mod tests {
         s.from_sm(0, read_req(0x1000, 7));
         run(&mut s, 0, 20);
         assert_eq!(s.to_mem.len(), 1);
-        assert!(matches!(
-            s.to_mem[0].dst,
-            Node::Vault(0, _)
-        ));
+        assert!(matches!(s.to_mem[0].dst, Node::Vault(0, _)));
         // Simulate the DRAM response.
         s.from_mem(Packet::new(
             Node::Vault(0, 0),
@@ -476,7 +473,10 @@ mod tests {
             Node::Vault(0, 0),
             Node::L2(0),
             0,
-            PacketKind::WriteAck { addr: 0x5000, tag: 0 },
+            PacketKind::WriteAck {
+                addr: 0x5000,
+                tag: 0,
+            },
         ));
         run(&mut s, 20, 25);
         assert_eq!(s.writes_outstanding, 0);

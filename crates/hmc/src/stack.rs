@@ -42,7 +42,9 @@ impl HmcStack {
         HmcStack {
             id,
             vaults,
-            vault_pending: (0..cfg.hmc.vaults_per_hmc).map(|_| VecDeque::new()).collect(),
+            vault_pending: (0..cfg.hmc.vaults_per_hmc)
+                .map(|_| VecDeque::new())
+                .collect(),
             to_gpu: VecDeque::new(),
             to_nsu: VecDeque::new(),
             to_memnet: VecDeque::new(),
@@ -128,7 +130,6 @@ impl HmcStack {
                         is_write,
                         payload: p,
                     })
-                    .ok()
                     .expect("checked can_accept");
             }
         }
@@ -158,7 +159,9 @@ impl HmcStack {
     fn respond(&mut self, now: Cycle, vault: u8, p: Packet) {
         let src = Node::Vault(self.id.0, vault);
         match p.kind {
-            PacketKind::ReadReq { addr, bytes, tag, .. } => {
+            PacketKind::ReadReq {
+                addr, bytes, tag, ..
+            } => {
                 let resp = Packet::new(src, p.src, now, PacketKind::ReadResp { addr, bytes, tag });
                 self.route_out(resp);
             }
@@ -173,7 +176,8 @@ impl HmcStack {
                 target,
                 ..
             } => {
-                let resp = Packet::new(src, target, now, PacketKind::RdfResp { token, seq, access });
+                let resp =
+                    Packet::new(src, target, now, PacketKind::RdfResp { token, seq, access });
                 self.route_out(resp);
             }
             PacketKind::NsuWrite { token, addr, .. } => {
@@ -219,6 +223,17 @@ impl HmcStack {
             || !self.to_gpu.is_empty()
             || !self.to_nsu.is_empty()
             || !self.to_memnet.is_empty()
+    }
+
+    /// Requests/packets queued anywhere inside this stack: pending vault
+    /// admissions, vault controller queues, and the three port queues
+    /// (occupancy sampling).
+    pub fn queued_requests(&self) -> usize {
+        self.vault_pending.iter().map(|q| q.len()).sum::<usize>()
+            + self.vaults.iter().map(|v| v.queue_len()).sum::<usize>()
+            + self.to_gpu.len()
+            + self.to_nsu.len()
+            + self.to_memnet.len()
     }
 }
 
@@ -276,7 +291,11 @@ mod tests {
         assert_eq!(s.to_gpu.len(), 1);
         let resp = s.to_gpu.pop_front().unwrap();
         match resp.kind {
-            PacketKind::ReadResp { addr: a, bytes, tag } => {
+            PacketKind::ReadResp {
+                addr: a,
+                bytes,
+                tag,
+            } => {
                 assert_eq!((a, bytes, tag), (addr, 128, 77));
             }
             other => panic!("unexpected {other:?}"),
@@ -311,7 +330,13 @@ mod tests {
         run(&mut s, 200);
         assert_eq!(s.to_nsu.len(), 1);
         let resp = s.to_nsu.pop_front().unwrap();
-        assert!(matches!(resp.kind, PacketKind::RdfResp { token: OffloadToken(9), .. }));
+        assert!(matches!(
+            resp.kind,
+            PacketKind::RdfResp {
+                token: OffloadToken(9),
+                ..
+            }
+        ));
         // Only 2 active words ⇒ a single 32 B burst read, not 128 B (§4.4).
         assert_eq!(s.dram_stats().read_bytes, 32);
     }
@@ -363,7 +388,9 @@ mod tests {
         assert_eq!(s.to_nsu.len(), 1, "write ack to local NSU");
         assert!(matches!(
             s.to_nsu[0].kind,
-            PacketKind::NsuWriteAck { token: OffloadToken(5) }
+            PacketKind::NsuWriteAck {
+                token: OffloadToken(5)
+            }
         ));
         assert_eq!(s.to_gpu.len(), 1, "cache invalidation to GPU");
         assert!(matches!(s.to_gpu[0].kind, PacketKind::CacheInval { .. }));

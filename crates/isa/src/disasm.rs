@@ -173,7 +173,7 @@ mod tests {
             score: 1,
             indirect: false,
         };
-        let text = disasm_gpu(&p, &[b.clone()]);
+        let text = disasm_gpu(&p, std::slice::from_ref(&b));
         assert!(text.contains("OFLD.BEG 0xD08"), "{text}");
         assert!(text.contains("OFLD.END"), "{text}");
         assert!(text.contains("@NSU"), "{text}");

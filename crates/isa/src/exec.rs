@@ -429,10 +429,7 @@ mod tests {
 
     #[test]
     fn float_ops_roundtrip() {
-        assert_eq!(
-            f32v(alu_eval(AluOp::FAdd, f32b(1.5), f32b(2.25), 0)),
-            3.75
-        );
+        assert_eq!(f32v(alu_eval(AluOp::FAdd, f32b(1.5), f32b(2.25), 0)), 3.75);
         assert_eq!(
             f32v(alu_eval(AluOp::FMad, f32b(2.0), f32b(3.0), f32b(1.0))),
             7.0
@@ -473,7 +470,7 @@ mod tests {
         assert_eq!(alu_eval(AluOp::Or, 0b1100, 0b1010, 0), 0b1110);
         assert_eq!(alu_eval(AluOp::Xor, 0b1100, 0b1010, 0), 0b0110);
         assert_eq!(alu_eval(AluOp::IMin, 7, 3, 0), 3);
-        assert_eq!(alu_eval(AluOp::IMad, 3, 4, 5, ), 17);
+        assert_eq!(alu_eval(AluOp::IMad, 3, 4, 5,), 17);
     }
 
     #[test]
@@ -509,7 +506,10 @@ mod tests {
         let mut p = Program::new("t", 4);
         p.items = vec![
             Item::Op(I::mov(Reg(0), Operand::Imm(0))),
-            Item::LoopBegin(TripCount::PerWarp { base: 1, spread: 64 }),
+            Item::LoopBegin(TripCount::PerWarp {
+                base: 1,
+                spread: 64,
+            }),
             Item::Op(I::alu(
                 AluOp::IAdd,
                 Reg(0),

@@ -90,10 +90,7 @@ pub enum AluOp {
 impl AluOp {
     /// Special-function-unit ops have longer latency on the GPU/NSU.
     pub fn is_sfu(&self) -> bool {
-        matches!(
-            self,
-            AluOp::FDiv | AluOp::FSqrt | AluOp::FRcp | AluOp::FExp
-        )
+        matches!(self, AluOp::FDiv | AluOp::FSqrt | AluOp::FRcp | AluOp::FExp)
     }
 
     /// Number of source operands (2 or 3).

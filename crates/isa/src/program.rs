@@ -290,9 +290,11 @@ mod tests {
         let a = t.resolve(0, 1);
         let b = t.resolve(1, 1);
         assert_eq!(a, t.resolve(0, 1));
-        assert!(a >= 4 && a < 20);
+        assert!((4..20).contains(&a));
         // Different warps should usually differ (probabilistic; fixed seed).
-        let distinct = (0..32).map(|w| t.resolve(w, 1)).collect::<std::collections::HashSet<_>>();
+        let distinct = (0..32)
+            .map(|w| t.resolve(w, 1))
+            .collect::<std::collections::HashSet<_>>();
         assert!(distinct.len() > 4, "{distinct:?}");
         let _ = b;
     }

@@ -20,7 +20,12 @@ pub struct MemNetwork {
 }
 
 impl MemNetwork {
-    pub fn new(nodes: usize, bytes_per_cycle: f64, hop_latency: u32, queue_capacity: usize) -> Self {
+    pub fn new(
+        nodes: usize,
+        bytes_per_cycle: f64,
+        hop_latency: u32,
+        queue_capacity: usize,
+    ) -> Self {
         let topo = Topology::hypercube(nodes);
         let links = (0..nodes)
             .map(|_| {
@@ -119,17 +124,24 @@ impl MemNetwork {
 
     /// Total bytes moved across all network links.
     pub fn total_bytes(&self) -> u64 {
-        self.links
-            .iter()
-            .flatten()
-            .map(|l| l.stats.bytes)
-            .sum()
+        self.links.iter().flatten().map(|l| l.stats.bytes).sum()
     }
 
     /// True when no packet is queued, in flight, or awaiting pickup.
     pub fn is_idle(&self) -> bool {
         self.links.iter().flatten().all(|l| l.is_idle())
             && self.delivered.iter().all(|q| q.is_empty())
+    }
+
+    /// Packets currently anywhere in the network — queued or in flight on a
+    /// link, or delivered but not yet popped (occupancy sampling).
+    pub fn queued_packets(&self) -> usize {
+        self.links
+            .iter()
+            .flatten()
+            .map(|l| l.in_transit())
+            .sum::<usize>()
+            + self.delivered.iter().map(|q| q.len()).sum::<usize>()
     }
 }
 

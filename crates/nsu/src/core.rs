@@ -82,10 +82,7 @@ pub struct Nsu {
 
 impl Nsu {
     pub fn new(id: HmcId, cfg: &SystemConfig, blocks: Arc<Vec<OffloadBlock>>) -> Self {
-        let pc_to_block = blocks
-            .iter()
-            .map(|b| (b.nsu_pc, b.id as u16))
-            .collect();
+        let pc_to_block = blocks.iter().map(|b| (b.nsu_pc, b.id as u16)).collect();
         Nsu {
             id,
             pc_to_block,
@@ -150,7 +147,9 @@ impl Nsu {
                     "read data buffer overflow — credit protocol violated"
                 );
             }
-            PacketKind::Rdf { token, seq, access, .. } => {
+            PacketKind::Rdf {
+                token, seq, access, ..
+            } => {
                 // A header-only RDF arriving directly at the NSU is the
                 // read-only-cache ablation path (§7.1 suggestion): the data
                 // is already on the NSU, the packet just names the lanes.
@@ -362,6 +361,17 @@ impl Nsu {
     /// Anything still queued or running?
     pub fn busy(&self) -> bool {
         !self.cmd_q.is_empty() || self.slots.iter().any(|s| s.is_some()) || !self.out.is_empty()
+    }
+
+    /// Current depths of the three NSU buffers: `(cmd_q, read_data,
+    /// write_addr)` entries (occupancy sampling).
+    pub fn buffer_depths(&self) -> (usize, usize, usize) {
+        (self.cmd_q.len(), self.read_buf.len(), self.write_buf.len())
+    }
+
+    /// Warp slots currently running a block instance (occupancy sampling).
+    pub fn occupied_slots(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
     }
 
     /// Drain accumulated credit events.

@@ -37,7 +37,11 @@ fn cmd(token: u64) -> Packet {
         0,
         PacketKind::OffloadCmd {
             token: OffloadToken(token),
-            id: OffloadId { sm: 0, warp: 0, seq: 0 },
+            id: OffloadId {
+                sm: 0,
+                warp: 0,
+                seq: 0,
+            },
             nsu_pc: 0xd00,
             regs_in: 0,
             active: 32,

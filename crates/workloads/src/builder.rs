@@ -69,7 +69,11 @@ impl Kb {
     pub fn reg(&mut self) -> Reg {
         let r = Reg(self.next_reg);
         self.next_reg += 1;
-        assert!(self.next_reg <= 64, "register budget exceeded in {}", self.name);
+        assert!(
+            self.next_reg <= 64,
+            "register budget exceeded in {}",
+            self.name
+        );
         r
     }
 
@@ -235,8 +239,8 @@ impl Kb {
             Operand::Imm(stride_elems * 4),
             Operand::Imm(base),
         );
-        let t4 = self.imad(Operand::Tid, Operand::Imm(4), Operand::Reg(off));
-        t4
+
+        self.imad(Operand::Tid, Operand::Imm(4), Operand::Reg(off))
     }
 
     /// Broadcast address: `base + iter*4` (all lanes identical).

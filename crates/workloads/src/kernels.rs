@@ -397,9 +397,9 @@ fn bfs(s: &Scale) -> Program {
     k.loop_irregular(s.iters / 2 + 1, s.iters, |k| {
         let ea = k.addr_stream(edges, stride);
         let ev = k.ld(ea); // edge target (raw)
-        // Neighbor ids cluster in a per-warp window (graph locality): a
-        // 1024-node window bounds the divergence (~20 lines per gather)
-        // while the union of windows still outgrows the 2 MB L2.
+                           // Neighbor ids cluster in a per-warp window (graph locality): a
+                           // 1024-node window bounds the divergence (~20 lines per gather)
+                           // while the union of windows still outgrows the 2 MB L2.
         let win = k.imul(Operand::WarpId, Imm(1024 * 4));
         let off = k.and(R(ev), Imm(1023));
         let lo = k.imad(R(off), Imm(4), R(win));
@@ -592,7 +592,7 @@ fn bprop(s: &Scale) -> Program {
     });
     k.bar();
     k.reset_regs(4); // preserve the prologue registers (live into the epilogue)
-    // --- Weight-update pass: block of 23 (9 LD + 11 FP + 3 ST) ---
+                     // --- Weight-update pass: block of 23 (9 LD + 11 FP + 3 ST) ---
     k.loop_n(s.iters, |k| {
         // 3 streaming hidden loads.
         let base = k.addr_stream(hid, stride * 3);
@@ -680,7 +680,11 @@ mod tests {
                 blocks += 1.0;
             }
         }
-        assert!(total_in / blocks < 1.5, "avg regs in = {}", total_in / blocks);
+        assert!(
+            total_in / blocks < 1.5,
+            "avg regs in = {}",
+            total_in / blocks
+        );
         assert!(
             total_out / blocks < 1.5,
             "avg regs out = {}",
@@ -690,7 +694,11 @@ mod tests {
 
     #[test]
     fn indirect_blocks_where_expected() {
-        for (w, want) in [(Workload::Bfs, 2usize), (Workload::Stcl, 2), (Workload::Vadd, 0)] {
+        for (w, want) in [
+            (Workload::Bfs, 2usize),
+            (Workload::Stcl, 2),
+            (Workload::Vadd, 0),
+        ] {
             let p = w.build(&Scale::tiny());
             let ck = compile(&p, &CompilerConfig::default());
             let got = ck.blocks.iter().filter(|b| b.indirect).count();
@@ -757,11 +765,14 @@ mod behaviour_tests {
 
     #[test]
     fn bfs_gathers_are_divergent_and_streams_are_not() {
-        let scale = Scale { warps: 64, iters: 8 };
+        let scale = Scale {
+            warps: 64,
+            iters: 8,
+        };
         let stats = lines_per_load(Workload::Bfs, &scale, 3);
         let mut divergent_sites = 0;
         let mut coalesced_sites = 0;
-        for (_, (lines, loads)) in &stats {
+        for (lines, loads) in stats.values() {
             let avg = *lines as f64 / *loads as f64;
             if avg > 8.0 {
                 divergent_sites += 1;
@@ -778,11 +789,20 @@ mod behaviour_tests {
 
     #[test]
     fn streaming_workloads_stay_fully_coalesced() {
-        let scale = Scale { warps: 16, iters: 4 };
-        for w in [Workload::Vadd, Workload::Kmn, Workload::MiniFe, Workload::Sp] {
+        let scale = Scale {
+            warps: 16,
+            iters: 4,
+        };
+        for w in [
+            Workload::Vadd,
+            Workload::Kmn,
+            Workload::MiniFe,
+            Workload::Sp,
+        ] {
             for (idx, (lines, loads)) in lines_per_load(w, &scale, 1) {
                 assert_eq!(
-                    lines, loads,
+                    lines,
+                    loads,
                     "{} load at {idx} must touch exactly one line per warp",
                     w.name()
                 );
@@ -806,10 +826,8 @@ mod behaviour_tests {
                     space: MemSpace::Global,
                     addrs,
                     ..
-                } => {
-                    if addrs[0] >= cfg_base && addrs[0] < cfg_base + 128 {
-                        hot_reads += 1;
-                    }
+                } if (cfg_base..cfg_base + 128).contains(&addrs[0]) => {
+                    hot_reads += 1;
                 }
                 _ => {}
             }
@@ -839,15 +857,16 @@ mod behaviour_tests {
         // Loads come in groups of 7 per iteration: c, x−, x+, y−, y+, z−, z+.
         let c = loads[0];
         let xm = loads[1];
-        let same_line = (0..32)
-            .filter(|&l| c[l] & !127 == xm[l] & !127)
-            .count();
+        let same_line = (0..32).filter(|&l| c[l] & !127 == xm[l] & !127).count();
         assert!(same_line >= 30, "x−1 must mostly share the center line");
     }
 
     #[test]
     fn array_declarations_do_not_overlap() {
-        let scale = Scale { warps: 32, iters: 8 };
+        let scale = Scale {
+            warps: 32,
+            iters: 8,
+        };
         for (_, p) in all_workloads(&scale) {
             let mut spans: Vec<(u64, u64, &str)> = p
                 .arrays

@@ -37,8 +37,16 @@ fn main() {
     cfg.offload = OffloadPolicy::Static(0.4); // the paper's best BFS ratio
     let ndp = System::new(cfg, &program).run(40_000_000);
 
-    println!("\nbaseline : {:>9} cycles, {:>8} KB GPU-link traffic", base.cycles, base.gpu_link_bytes / 1024);
-    println!("NDP(0.4) : {:>9} cycles, {:>8} KB GPU-link traffic", ndp.cycles, ndp.gpu_link_bytes / 1024);
+    println!(
+        "\nbaseline : {:>9} cycles, {:>8} KB GPU-link traffic",
+        base.cycles,
+        base.gpu_link_bytes / 1024
+    );
+    println!(
+        "NDP(0.4) : {:>9} cycles, {:>8} KB GPU-link traffic",
+        ndp.cycles,
+        ndp.gpu_link_bytes / 1024
+    );
     println!(
         "speedup {:.3}× — divergence filtering avoids fetching untouched words",
         base.cycles as f64 / ndp.cycles as f64

@@ -32,7 +32,11 @@ fn main() {
     cfg.offload = OffloadPolicy::Static(0.6);
     let ndp = System::new(cfg, &program).run(20_000_000);
 
-    println!("baseline : {:>9} cycles, {:>8} KB over GPU links", base.cycles, base.gpu_link_bytes / 1024);
+    println!(
+        "baseline : {:>9} cycles, {:>8} KB over GPU links",
+        base.cycles,
+        base.gpu_link_bytes / 1024
+    );
     println!(
         "NDP(0.6) : {:>9} cycles, {:>8} KB over GPU links, {:>8} KB over the memory network",
         ndp.cycles,

@@ -47,6 +47,7 @@ pub use ndp_workloads as workloads;
 /// The commonly-used types in one import.
 pub mod prelude {
     pub use ndp_common::config::{OffloadPolicy, SystemConfig};
+    pub use ndp_common::obs::{Obs, ObsConfig, ObsReport};
     pub use ndp_compiler::{compile, CompilerConfig};
     pub use ndp_core::experiments::{run_matrix, run_workload};
     pub use ndp_core::{RunResult, System};

@@ -8,7 +8,10 @@ const MAX: u64 = 30_000_000;
 
 fn small(mut cfg: SystemConfig, w: Workload) -> RunResult {
     cfg.gpu.num_sms = 8;
-    let p = w.build(&Scale { warps: 64, iters: 4 });
+    let p = w.build(&Scale {
+        warps: 64,
+        iters: 4,
+    });
     System::new(cfg, &p).run(MAX)
 }
 
@@ -45,7 +48,10 @@ fn streaming_ndp_slashes_gpu_link_traffic() {
     // Slightly larger than `small` so the streams outgrow the caches.
     let run = |mut cfg: SystemConfig, w: Workload| {
         cfg.gpu.num_sms = 8;
-        let p = w.build(&Scale { warps: 128, iters: 8 });
+        let p = w.build(&Scale {
+            warps: 128,
+            iters: 8,
+        });
         System::new(cfg, &p).run(MAX)
     };
     for w in [Workload::Vadd, Workload::Kmn, Workload::MiniFe] {
@@ -58,7 +64,11 @@ fn streaming_ndp_slashes_gpu_link_traffic() {
             ndp.gpu_link_bytes,
             base.gpu_link_bytes
         );
-        assert!(ndp.memnet_bytes > 0, "{}: data must cross the memnet", w.name());
+        assert!(
+            ndp.memnet_bytes > 0,
+            "{}: data must cross the memnet",
+            w.name()
+        );
     }
 }
 
@@ -82,7 +92,10 @@ fn runs_are_deterministic() {
 fn page_map_seed_changes_timing_but_not_completion() {
     let mut cfg = SystemConfig::naive_ndp();
     cfg.gpu.num_sms = 8;
-    let p = Workload::Vadd.build(&Scale { warps: 64, iters: 4 });
+    let p = Workload::Vadd.build(&Scale {
+        warps: 64,
+        iters: 4,
+    });
     let a = System::new(cfg.clone(), &p).run(MAX);
     cfg.seed ^= 0xdecafbad;
     let b = System::new(cfg, &p).run(MAX);
@@ -100,7 +113,10 @@ fn bigger_gpu_is_faster_on_memlight_workload() {
     small_cfg.gpu.num_sms = 4;
     let mut big_cfg = SystemConfig::baseline();
     big_cfg.gpu.num_sms = 16;
-    let p = Workload::Sp.build(&Scale { warps: 256, iters: 4 });
+    let p = Workload::Sp.build(&Scale {
+        warps: 256,
+        iters: 4,
+    });
     let a = System::new(small_cfg, &p).run(MAX);
     let b = System::new(big_cfg, &p).run(MAX);
     assert!(b.cycles < a.cycles, "{} !< {}", b.cycles, a.cycles);
@@ -127,7 +143,10 @@ fn energy_model_produces_consistent_breakdown() {
 
 #[test]
 fn morecore_baseline_runs_with_72_sms() {
-    let p = Workload::Kmn.build(&Scale { warps: 144, iters: 4 });
+    let p = Workload::Kmn.build(&Scale {
+        warps: 144,
+        iters: 4,
+    });
     let r = System::new(SystemConfig::baseline_more_core(), &p).run(MAX);
     assert!(!r.timed_out);
 }

@@ -1,0 +1,128 @@
+//! Observability-layer integration tests: enabling observation must never
+//! change simulation outcomes, and an enabled run must produce the full
+//! report (latency segments, occupancy series, exportable trace).
+
+use standardized_ndp::prelude::*;
+
+const MAX: u64 = 30_000_000;
+
+fn system(w: Workload) -> System {
+    let mut cfg = SystemConfig::naive_ndp();
+    cfg.gpu.num_sms = 8;
+    let p = w.build(&Scale {
+        warps: 64,
+        iters: 4,
+    });
+    System::new(cfg, &p)
+}
+
+#[test]
+fn observation_is_invisible_to_the_simulation() {
+    // The tentpole guarantee: obs hooks are read-only, so a run with
+    // observability on is bit-identical (cycles, traffic, energy activity —
+    // the whole RunResult) to the same run with it off.
+    let off = system(Workload::Vadd).run(MAX);
+    let mut sys = system(Workload::Vadd);
+    sys.enable_obs(ObsConfig::on());
+    let mut on = sys.run(MAX);
+    assert!(!off.timed_out && !on.timed_out);
+    assert!(on.obs.is_some(), "enabled run must carry a report");
+    on.obs = None;
+    assert_eq!(on, off, "observability perturbed the simulation");
+}
+
+#[test]
+fn enabled_run_reports_all_segments_and_series() {
+    let mut sys = system(Workload::Vadd);
+    sys.enable_obs(ObsConfig::on());
+    let r = sys.run(MAX);
+    assert!(!r.timed_out);
+    let obs = r.obs.as_ref().expect("report present");
+
+    // All five round-trip segments, fully populated.
+    for seg in [
+        "end_to_end",
+        "cmd_dispatch",
+        "rdf_drain",
+        "nsu_execute",
+        "ack_return",
+    ] {
+        let h = obs.segment(seg).unwrap_or_else(|| panic!("segment {seg}"));
+        assert_eq!(h.count, obs.txn_completed, "{seg} records every txn");
+        assert!(h.max >= h.p50, "{seg} ordering");
+    }
+    let e2e = obs.segment("end_to_end").expect("e2e");
+    assert!(e2e.p99 >= e2e.p50 && e2e.p50 > 0);
+
+    // The acceptance-criteria series: SM NDP buffers, NSU buffers, and at
+    // least one link credit pool — plus the wider queue set.
+    for name in [
+        "sm_ndp_pending",
+        "sm_ndp_ready",
+        "nsu_cmd_queue",
+        "nsu_read_data",
+        "nsu_write_addr",
+        "nsu_warp_slots",
+        "credit_cmd_in_use",
+        "credit_read_in_use",
+        "credit_write_in_use",
+        "gpu_link_up_in_transit",
+        "gpu_link_down_in_transit",
+        "vault_queued",
+        "memnet_in_flight",
+    ] {
+        let s = obs
+            .find_series(name)
+            .unwrap_or_else(|| panic!("series {name}"));
+        assert!(!s.samples.is_empty(), "{name} sampled");
+        assert!(s.interval_cycles > 0, "{name} interval");
+    }
+    // A busy NDP run must actually exercise the credit pools.
+    let cmd = obs.find_series("credit_cmd_in_use").expect("present");
+    assert!(
+        cmd.samples.iter().any(|&v| v > 0.0),
+        "command credits never observed in use"
+    );
+}
+
+#[test]
+fn exporters_emit_wellformed_documents() {
+    let mut sys = system(Workload::Vadd);
+    sys.enable_obs(ObsConfig::on());
+    let r = sys.run(MAX);
+    let obs = r.obs.as_ref().expect("report present");
+
+    let trace = obs.chrome_trace_json();
+    assert!(trace.starts_with('{') && trace.trim_end().ends_with('}'));
+    assert!(trace.contains("\"traceEvents\""));
+    assert!(trace.contains("\"ph\":\"M\""), "metadata events");
+    assert!(trace.contains("\"ph\":\"i\""), "packet instants");
+    assert!(trace.contains("\"ph\":\"C\""), "occupancy counters");
+    assert!(trace.contains("OffloadCmd") && trace.contains("OffloadAck"));
+
+    let metrics = obs.metrics_json();
+    assert!(metrics.contains("\"latency_cycles\""));
+    assert!(metrics.contains("\"end_to_end\""));
+    assert!(metrics.contains("\"occupancy\""));
+    assert!(metrics.contains("\"sm_ndp_pending\""));
+
+    let text = obs.summary_text();
+    assert!(text.contains("end_to_end") && text.contains("sm_ndp_pending"));
+}
+
+#[test]
+fn tracer_and_obs_share_one_event_stream() {
+    // The Fig. 2 tracer and the obs event ring are the same substrate: an
+    // instance rendered by one must appear in the other's export.
+    let mut sys = system(Workload::Vadd);
+    sys.enable_trace(4096);
+    sys.enable_obs(ObsConfig::on());
+    let r = sys.run(MAX);
+    let obs = r.obs.as_ref().expect("report present");
+    assert!(!obs.events.is_empty(), "obs ring captured protocol events");
+    let with_tokens = obs.events.iter().filter(|e| e.token.is_some()).count();
+    assert!(
+        with_tokens > 0,
+        "NDP packets carry tokens in the shared ring"
+    );
+}

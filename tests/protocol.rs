@@ -121,6 +121,32 @@ fn ro_cache_reduces_bprop_link_traffic() {
 }
 
 #[test]
+fn every_offload_cmd_gets_exactly_one_ack() {
+    // §4.1 protocol completeness, checked through the observability layer:
+    // each block instance's CMD must come back as exactly one ACK — no
+    // transaction still in flight after drain, no ACK without a CMD.
+    let mut cfg = SystemConfig::naive_ndp();
+    cfg.gpu.num_sms = 8;
+    let p = Workload::Vadd.build(&Scale {
+        warps: 64,
+        iters: 4,
+    });
+    let mut sys = System::new(cfg, &p);
+    sys.enable_obs(ObsConfig::on());
+    let r = sys.run(MAX);
+    assert!(!r.timed_out, "run did not drain");
+    let obs = r.obs.as_ref().expect("observability enabled");
+    assert!(r.offloaded > 0);
+    assert_eq!(obs.txn_issued, r.offloaded, "one tracked txn per offload");
+    assert_eq!(obs.txn_completed, obs.txn_issued, "every CMD acked");
+    assert_eq!(obs.txn_inflight, 0, "nothing in flight after drain");
+    assert_eq!(obs.orphan_acks, 0, "no ACK without a matching CMD");
+    let e2e = obs.segment("end_to_end").expect("histogram present");
+    assert_eq!(e2e.count, obs.txn_completed);
+    assert!(e2e.p50 > 0, "round trips take nonzero cycles");
+}
+
+#[test]
 fn rdf_probe_ablation_changes_traffic_mix() {
     let probed = run(SystemConfig::naive_ndp(), Workload::Bprop, 64, 4);
     let mut cfg = SystemConfig::naive_ndp();
