@@ -54,6 +54,12 @@ pub struct GpuConfig {
     pub alu_latency: u32,
     /// Special-function (division, sqrt) latency in SM cycles.
     pub sfu_latency: u32,
+    /// Warps per cooperative thread array (barrier scope; CTA-contiguous
+    /// warp-to-SM assignment).
+    pub warps_per_cta: u32,
+    /// Input-queue depth of each GPU↔HMC link direction, in packets
+    /// (backpressure bound on the serializer).
+    pub link_queue_capacity: usize,
 }
 
 impl Default for GpuConfig {
@@ -79,6 +85,8 @@ impl Default for GpuConfig {
             link_latency: 20,
             alu_latency: 4,
             sfu_latency: 16,
+            warps_per_cta: 8,
+            link_queue_capacity: 64,
         }
     }
 }
@@ -142,6 +150,9 @@ pub struct HmcConfig {
     pub link_gbps: f64,
     /// Fixed per-hop latency of a memory-network link in SM cycles.
     pub memnet_hop_latency: u32,
+    /// Input-queue depth of each memory-network link, in packets
+    /// (hop-by-hop backpressure bound).
+    pub memnet_queue_capacity: usize,
     /// Intra-HMC crossbar traversal latency in SM cycles.
     pub xbar_latency: u32,
 }
@@ -160,6 +171,7 @@ impl Default for HmcConfig {
             memnet_links: 3,
             link_gbps: 20.0,
             memnet_hop_latency: 12,
+            memnet_queue_capacity: 64,
             xbar_latency: 4,
         }
     }

@@ -17,9 +17,11 @@ pub mod link;
 pub mod memmap;
 pub mod obs;
 pub mod packet;
+pub mod port;
 pub mod rng;
 pub mod stats;
 
 pub use config::SystemConfig;
 pub use ids::{Cycle, HmcId, Node, OffloadToken, SmId, VaultId};
 pub use packet::{Packet, PacketKind};
+pub use port::{Component, Fabric, FabricCtx, InPort, OutPort};

@@ -9,7 +9,8 @@
 use std::collections::VecDeque;
 
 use crate::ids::Cycle;
-use crate::packet::Packet;
+use crate::packet::{Packet, PacketKind};
+use crate::port::Component;
 
 /// Traffic statistics of one link direction.
 #[derive(Debug, Clone, Copy, Default)]
@@ -25,7 +26,7 @@ pub struct LinkStats {
     /// Cycles during which the serializer was busy.
     pub busy_cycles: u64,
     /// Bytes per packet kind (indexed by `Packet::kind_index`).
-    pub kind_bytes: [u64; 12],
+    pub kind_bytes: [u64; PacketKind::COUNT],
 }
 
 /// One direction of a link.
@@ -106,7 +107,7 @@ impl Link {
         if p.is_ndp() {
             self.stats.ndp_bytes += p.size as u64;
         }
-        if matches!(p.kind, crate::packet::PacketKind::CacheInval { .. }) {
+        if matches!(p.kind, PacketKind::CacheInval { .. }) {
             self.stats.inval_bytes += p.size as u64;
         }
     }
@@ -132,6 +133,12 @@ impl Link {
     /// True when nothing is queued or in flight.
     pub fn is_idle(&self) -> bool {
         self.queue.is_empty() && self.flight.is_empty()
+    }
+}
+
+impl Component for Link {
+    fn tick(&mut self, now: Cycle) {
+        Link::tick(self, now);
     }
 }
 

@@ -153,6 +153,12 @@ pub enum PacketKind {
     },
 }
 
+impl PacketKind {
+    /// Number of distinct packet kinds: the size of every per-kind
+    /// accounting array. [`Packet::kind_index`] always returns `< COUNT`.
+    pub const COUNT: usize = 12;
+}
+
 /// A packet in flight.
 #[derive(Debug, Clone)]
 pub struct Packet {
@@ -238,7 +244,7 @@ impl Packet {
     }
 
     /// Human-readable name for [`Packet::kind_index`] slots.
-    pub const KIND_NAMES: [&'static str; 12] = [
+    pub const KIND_NAMES: [&'static str; PacketKind::COUNT] = [
         "ReadReq",
         "ReadResp",
         "WriteReq",

@@ -6,7 +6,8 @@ use ndp_common::config::{OffloadPolicy, SystemConfig};
 use ndp_common::ids::{Cycle, HmcId, Node};
 use ndp_common::link::Link;
 use ndp_common::obs::{Obs, ObsConfig};
-use ndp_common::packet::Packet;
+use ndp_common::packet::{Packet, PacketKind};
+use ndp_common::port::{Component, Edge, Fabric, FabricCtx, Op, Stage};
 use ndp_compiler::{compile, CompiledKernel, CompilerConfig};
 use ndp_energy::Activity;
 use ndp_gpu::sm::{Sm, SmConfig};
@@ -64,7 +65,7 @@ impl System {
             ));
         }
         // Assign warps to SMs in CTA-contiguous chunks.
-        let warps_per_cta = 8u32;
+        let warps_per_cta = cfg.gpu.warps_per_cta;
         for wg in 0..kernel.program.num_warps {
             let cta = wg / warps_per_cta;
             let sm = (cta as usize) % cfg.gpu.num_sms;
@@ -74,10 +75,10 @@ impl System {
             .map(|i| L2Slice::new(i as u8, &cfg))
             .collect();
         let up = (0..cfg.hmc.num_hmcs)
-            .map(|_| Link::new(bpc, link_lat, 64))
+            .map(|_| Link::new(bpc, link_lat, cfg.gpu.link_queue_capacity))
             .collect();
         let down = (0..cfg.hmc.num_hmcs)
-            .map(|_| Link::new(bpc, link_lat, 64))
+            .map(|_| Link::new(bpc, link_lat, cfg.gpu.link_queue_capacity))
             .collect();
         let stacks = (0..cfg.hmc.num_hmcs)
             .map(|i| HmcStack::new(HmcId(i as u8), &cfg))
@@ -86,7 +87,7 @@ impl System {
             cfg.hmc.num_hmcs,
             cfg.bytes_per_cycle(cfg.hmc.link_gbps),
             cfg.hmc.memnet_hop_latency,
-            64,
+            cfg.hmc.memnet_queue_capacity,
         );
         let nsus = (0..cfg.hmc.num_hmcs)
             .map(|i| Nsu::new(HmcId(i as u8), &cfg, Arc::clone(&blocks)))
@@ -124,161 +125,10 @@ impl System {
         self.obs = Obs::new(cfg);
     }
 
-    /// One SM-clock cycle.
+    /// One SM-clock cycle: execute the fabric pipeline.
     pub fn tick(&mut self) {
         let now = self.now;
-
-        // 1. SMs issue.
-        for sm in &mut self.sms {
-            sm.tick(now, &mut self.ctrl);
-        }
-
-        // 2. SM outputs → L2 slices (on-die interconnect), with
-        //    backpressure: head-of-line packets wait for slice room.
-        for sm in &mut self.sms {
-            while let Some(front) = sm.out.front() {
-                let h = match front.dst {
-                    Node::L2(h) => h,
-                    other => other.hmc().map(|x| x.0).unwrap_or(0),
-                } as usize;
-                if !self.slices[h].can_accept() {
-                    break;
-                }
-                let p = sm.out.pop_front().expect("front exists");
-                observe(&mut self.tracer, &mut self.obs, now, TraceSite::SmEject, &p);
-                self.slices[h].from_sm(now, p);
-            }
-        }
-
-        // 3. L2 slices process; drain block-locality events.
-        for s in &mut self.slices {
-            s.tick(now);
-            for (block, hit) in s.block_events.drain(..) {
-                self.ctrl.note_l2_event(block, hit);
-            }
-        }
-
-        // 4. Slice memory-side output → up links.
-        for (h, s) in self.slices.iter_mut().enumerate() {
-            while !s.to_mem.is_empty() && self.up[h].can_accept() {
-                let p = s.to_mem.pop_front().expect("nonempty");
-                self.up[h].push(p).expect("checked");
-            }
-        }
-
-        // 5. Up links → stacks.
-        for (h, l) in self.up.iter_mut().enumerate() {
-            l.tick(now);
-            while let Some(p) = l.pop_ready(now) {
-                observe(
-                    &mut self.tracer,
-                    &mut self.obs,
-                    now,
-                    TraceSite::GpuLinkUp,
-                    &p,
-                );
-                self.stacks[h].accept(p);
-            }
-        }
-
-        // 6. Stacks (vault timing, response generation).
-        for st in &mut self.stacks {
-            st.tick(now);
-        }
-
-        // 7. Stack outputs: memory network, NSUs, GPU down links.
-        for h in 0..self.stacks.len() {
-            while let Some(front) = self.stacks[h].to_memnet.front() {
-                if !self.net.can_inject(HmcId(h as u8), front) {
-                    break;
-                }
-                let p = self.stacks[h].to_memnet.pop_front().expect("nonempty");
-                self.net.inject(HmcId(h as u8), p).expect("checked");
-            }
-            while let Some(p) = self.stacks[h].to_nsu.pop_front() {
-                observe(&mut self.tracer, &mut self.obs, now, TraceSite::ToNsu, &p);
-                self.nsus[h].deliver(p);
-            }
-            while !self.stacks[h].to_gpu.is_empty() && self.down[h].can_accept() {
-                let p = self.stacks[h].to_gpu.pop_front().expect("nonempty");
-                self.down[h].push(p).expect("checked");
-            }
-        }
-
-        // 8. Memory network: hop-by-hop forwarding; deliveries re-enter the
-        //    destination stack's logic layer.
-        self.net.tick(now);
-        for h in 0..self.stacks.len() {
-            while let Some(p) = self.net.pop_delivered(HmcId(h as u8)) {
-                self.stacks[h].accept(p);
-            }
-        }
-
-        // 9. NSUs run at SM-clock / divider (350 MHz default, §7.6 studies
-        //    175 MHz); credits return to the buffer manager piggybacked.
-        if self.ndp_on && now.is_multiple_of(self.nsu_div) {
-            for h in 0..self.nsus.len() {
-                self.nsus[h].tick(now);
-                while let Some(p) = self.nsus[h].out.pop_front() {
-                    observe(&mut self.tracer, &mut self.obs, now, TraceSite::FromNsu, &p);
-                    self.stacks[h].accept(p);
-                }
-                let c = self.nsus[h].take_credits();
-                for _ in 0..c.cmd {
-                    self.ctrl.mgr.credit_cmd(HmcId(h as u8));
-                }
-                if c.read > 0 {
-                    self.ctrl.mgr.credit_read(HmcId(h as u8), c.read as usize);
-                }
-                if c.write > 0 {
-                    self.ctrl.mgr.credit_write(HmcId(h as u8), c.write as usize);
-                }
-            }
-        }
-
-        // 10. Down links → L2 slices (fills, acks, invals) or SMs (ACKs).
-        for (h, l) in self.down.iter_mut().enumerate() {
-            l.tick(now);
-            while let Some(p) = l.pop_ready(now) {
-                observe(
-                    &mut self.tracer,
-                    &mut self.obs,
-                    now,
-                    TraceSite::GpuLinkDown,
-                    &p,
-                );
-                match p.dst {
-                    Node::L2(_) => {
-                        if matches!(p.kind, ndp_common::packet::PacketKind::CacheInval { .. }) {
-                            // §4.1: an in-flight write address drained.
-                            self.ctrl.note_inval(HmcId(h as u8));
-                        }
-                        self.slices[h].from_mem(p)
-                    }
-                    Node::Sm(s) => self.sms[s as usize].deliver(now, p, &mut self.ctrl),
-                    other => panic!("unroutable down-link packet to {other:?}"),
-                }
-            }
-        }
-
-        // 11. Slice responses → SMs.
-        for s in &mut self.slices {
-            while let Some(p) = s.pop_to_sm(now) {
-                match p.dst {
-                    Node::Sm(i) => self.sms[i as usize].deliver(now, p, &mut self.ctrl),
-                    other => panic!("slice response to {other:?}"),
-                }
-            }
-        }
-
-        // 12. Controller epochs.
-        self.ctrl.on_cycle(now);
-
-        // 13. Occupancy sampling (observability only; never feeds back).
-        if self.obs.sample_due(now) {
-            self.sample_occupancy();
-        }
-
+        Fabric { stages: PIPELINE }.tick(self, now);
         self.now += 1;
     }
 
@@ -340,7 +190,7 @@ impl System {
 
     /// Like [`System::run`] but also returns per-packet-kind GPU-link byte
     /// totals (diagnostics).
-    pub fn run_with_kind_stats(mut self, max_cycles: u64) -> (RunResult, [u64; 12]) {
+    pub fn run_with_kind_stats(mut self, max_cycles: u64) -> (RunResult, [u64; PacketKind::COUNT]) {
         let mut timed_out = true;
         while self.now < max_cycles {
             self.tick();
@@ -352,7 +202,7 @@ impl System {
         if timed_out && self.is_done() {
             timed_out = false;
         }
-        let mut kinds = [0u64; 12];
+        let mut kinds = [0u64; PacketKind::COUNT];
         for l in self.up.iter().chain(self.down.iter()) {
             for (total, b) in kinds.iter_mut().zip(l.stats.kind_bytes.iter()) {
                 *total += b;
@@ -441,13 +291,321 @@ impl System {
     }
 }
 
-/// Record one packet movement into both observation sinks. A free function
-/// (rather than a `System` method) so it stays callable where other fields
-/// of `System` are mutably borrowed.
-#[inline]
-fn observe(tracer: &mut Tracer, obs: &mut Obs, now: Cycle, site: TraceSite, p: &Packet) {
-    tracer.record(now, site, p);
-    obs.on_packet(now, site, p);
+/// A kind of transmit port, replicated across lanes (one lane per SM,
+/// slice, link, stack or NSU). Together with [`Rx`] these name every
+/// structural edge of the machine.
+#[derive(Debug, Clone, Copy)]
+pub enum Tx {
+    /// SM output queues → on-die interconnect.
+    SmOut,
+    /// L2 slice memory-side outputs → up links.
+    SliceToMem,
+    /// Up-link deliveries → stack logic layers.
+    UpLink,
+    /// Stack outputs → memory network.
+    StackToMemnet,
+    /// Stack outputs → local NSU.
+    StackToNsu,
+    /// Stack outputs → down links.
+    StackToGpu,
+    /// Memory-network deliveries → destination stack logic layers.
+    NetDelivered,
+    /// NSU outputs → local stack logic layers.
+    NsuOut,
+    /// Down-link deliveries → L2 slices or SMs.
+    DownLink,
+    /// L2 slice responses → SMs.
+    SliceToSm,
+}
+
+/// One concrete receiver in the routing table.
+#[derive(Debug, Clone, Copy)]
+pub enum Rx {
+    /// SM-side input of an L2 slice.
+    Slice(usize),
+    UpLink(usize),
+    /// Logic layer of a stack.
+    Stack(usize),
+    /// Memory-network injection point at a stack.
+    Net(usize),
+    Nsu(usize),
+    DownLink(usize),
+    /// Memory-side input of an L2 slice.
+    SliceFromMem(usize),
+    Sm(usize),
+}
+
+/// A component group ticked by one pipeline stage.
+#[derive(Debug, Clone, Copy)]
+pub enum Comp {
+    Sms,
+    Slices,
+    UpLinks,
+    Stacks,
+    Net,
+    Nsus,
+    DownLinks,
+}
+
+/// Clock gate of a pipeline stage.
+#[derive(Debug, Clone, Copy)]
+pub enum Gate {
+    Always,
+    /// NSU clock domain: SM clock / divider, and only when NDP is on.
+    NsuClock,
+}
+
+/// Non-packet side channels run as pipeline stages.
+#[derive(Debug, Clone, Copy)]
+pub enum SideChannel {
+    /// NSU buffer-credit returns to the GPU's buffer manager (§4.3).
+    Credits,
+    /// Offload-controller epochs.
+    Ctrl,
+    /// Occupancy sampling (observability only; never feeds back).
+    Sample,
+}
+
+const fn stage(op: Op<System>) -> Stage<System> {
+    Stage {
+        gate: Gate::Always,
+        op,
+    }
+}
+
+const fn edge(tx: Tx, site: Option<TraceSite>) -> Op<System> {
+    Op::Route(Edge { tx, site })
+}
+
+/// The whole machine, one SM cycle, as data: tick a component group, move
+/// packets across a routing-table edge, or run a side channel — in this
+/// order. The stage order preserves the original hand-rolled phase order
+/// exactly (SMs → slices → up links → stacks → memnet → NSUs → down links
+/// → slice responses → controller).
+const PIPELINE: &[Stage<System>] = &[
+    stage(Op::Tick(Comp::Sms)),
+    stage(edge(Tx::SmOut, Some(TraceSite::SmEject))),
+    stage(Op::Tick(Comp::Slices)),
+    stage(edge(Tx::SliceToMem, None)),
+    stage(Op::Tick(Comp::UpLinks)),
+    stage(edge(Tx::UpLink, Some(TraceSite::GpuLinkUp))),
+    stage(Op::Tick(Comp::Stacks)),
+    stage(edge(Tx::StackToMemnet, None)),
+    stage(edge(Tx::StackToNsu, Some(TraceSite::ToNsu))),
+    stage(edge(Tx::StackToGpu, None)),
+    stage(Op::Tick(Comp::Net)),
+    stage(edge(Tx::NetDelivered, None)),
+    Stage {
+        gate: Gate::NsuClock,
+        op: Op::Tick(Comp::Nsus),
+    },
+    Stage {
+        gate: Gate::NsuClock,
+        op: edge(Tx::NsuOut, Some(TraceSite::FromNsu)),
+    },
+    Stage {
+        gate: Gate::NsuClock,
+        op: Op::Side(SideChannel::Credits),
+    },
+    stage(Op::Tick(Comp::DownLinks)),
+    stage(edge(Tx::DownLink, Some(TraceSite::GpuLinkDown))),
+    stage(edge(Tx::SliceToSm, None)),
+    stage(Op::Side(SideChannel::Ctrl)),
+    stage(Op::Side(SideChannel::Sample)),
+];
+
+impl FabricCtx for System {
+    type Tx = Tx;
+    type Rx = Rx;
+    type Comp = Comp;
+    type Gate = Gate;
+    type Side = SideChannel;
+
+    fn lanes(&self, tx: Tx) -> usize {
+        match tx {
+            Tx::SmOut => self.sms.len(),
+            Tx::SliceToMem | Tx::SliceToSm => self.slices.len(),
+            Tx::UpLink => self.up.len(),
+            Tx::DownLink => self.down.len(),
+            Tx::StackToMemnet | Tx::StackToNsu | Tx::StackToGpu | Tx::NetDelivered => {
+                self.stacks.len()
+            }
+            Tx::NsuOut => self.nsus.len(),
+        }
+    }
+
+    fn gate_open(&self, gate: Gate, now: Cycle) -> bool {
+        match gate {
+            Gate::Always => true,
+            Gate::NsuClock => self.ndp_on && now.is_multiple_of(self.nsu_div),
+        }
+    }
+
+    fn peek(&self, now: Cycle, tx: Tx, lane: usize) -> Option<&Packet> {
+        match tx {
+            Tx::SmOut => self.sms[lane].out.front(),
+            Tx::SliceToMem => self.slices[lane].to_mem.front(),
+            Tx::UpLink => self.up[lane].peek_ready(now),
+            Tx::StackToMemnet => self.stacks[lane].to_memnet.front(),
+            Tx::StackToNsu => self.stacks[lane].to_nsu.front(),
+            Tx::StackToGpu => self.stacks[lane].to_gpu.front(),
+            Tx::NetDelivered => self.net.peek_delivered(HmcId(lane as u8)),
+            Tx::NsuOut => self.nsus[lane].out.front(),
+            Tx::DownLink => self.down[lane].peek_ready(now),
+            Tx::SliceToSm => self.slices[lane].to_sm.peek_ready(now),
+        }
+    }
+
+    fn route(&self, tx: Tx, lane: usize, p: &Packet) -> Rx {
+        match tx {
+            // On-die interconnect: reads/writes address a slice directly;
+            // NDP-protocol packets go to the slice fronting the stack that
+            // owns their destination. Anything else is a routing bug.
+            Tx::SmOut => match p.dst {
+                Node::L2(h) => Rx::Slice(h as usize),
+                other => match other.hmc() {
+                    Some(h) => Rx::Slice(h.0 as usize),
+                    None => panic!("unroutable SM packet to {other:?}: {:?}", p.kind),
+                },
+            },
+            Tx::SliceToMem => Rx::UpLink(lane),
+            Tx::UpLink => Rx::Stack(lane),
+            Tx::StackToMemnet => Rx::Net(lane),
+            Tx::StackToNsu => Rx::Nsu(lane),
+            Tx::StackToGpu => Rx::DownLink(lane),
+            Tx::NetDelivered => Rx::Stack(lane),
+            Tx::NsuOut => Rx::Stack(lane),
+            Tx::DownLink => match p.dst {
+                Node::L2(_) => Rx::SliceFromMem(lane),
+                Node::Sm(s) => Rx::Sm(s as usize),
+                other => panic!("unroutable down-link packet to {other:?}"),
+            },
+            Tx::SliceToSm => match p.dst {
+                Node::Sm(i) => Rx::Sm(i as usize),
+                other => panic!("slice response to {other:?}"),
+            },
+        }
+    }
+
+    fn can_accept(&self, rx: Rx, p: &Packet) -> bool {
+        match rx {
+            Rx::Slice(h) => self.slices[h].can_accept(),
+            Rx::UpLink(h) => self.up[h].can_accept(),
+            Rx::Net(h) => self.net.can_inject(HmcId(h as u8), p),
+            Rx::DownLink(h) => self.down[h].can_accept(),
+            // Stack logic layers, NSU inputs, slice memory-side inputs and
+            // SM delivery are always-ready (their capacity is governed by
+            // upstream credit/backpressure protocols).
+            Rx::Stack(_) | Rx::Nsu(_) | Rx::SliceFromMem(_) | Rx::Sm(_) => true,
+        }
+    }
+
+    fn pop(&mut self, now: Cycle, tx: Tx, lane: usize) -> Packet {
+        match tx {
+            Tx::SmOut => self.sms[lane].out.pop_front(),
+            Tx::SliceToMem => self.slices[lane].to_mem.pop_front(),
+            Tx::UpLink => self.up[lane].pop_ready(now),
+            Tx::StackToMemnet => self.stacks[lane].to_memnet.pop_front(),
+            Tx::StackToNsu => self.stacks[lane].to_nsu.pop_front(),
+            Tx::StackToGpu => self.stacks[lane].to_gpu.pop_front(),
+            Tx::NetDelivered => self.net.pop_delivered(HmcId(lane as u8)),
+            Tx::NsuOut => self.nsus[lane].out.pop_front(),
+            Tx::DownLink => self.down[lane].pop_ready(now),
+            Tx::SliceToSm => self.slices[lane].pop_to_sm(now),
+        }
+        .expect("peeked head exists")
+    }
+
+    fn accept(&mut self, now: Cycle, rx: Rx, p: Packet) {
+        match rx {
+            Rx::Slice(h) => self.slices[h].from_sm(now, p),
+            Rx::UpLink(h) => self.up[h].push(p).expect("checked can_accept"),
+            Rx::Stack(h) => self.stacks[h].accept(p),
+            Rx::Net(h) => self
+                .net
+                .inject(HmcId(h as u8), p)
+                .expect("checked can_inject"),
+            Rx::Nsu(h) => self.nsus[h].deliver(p),
+            Rx::DownLink(h) => self.down[h].push(p).expect("checked can_accept"),
+            Rx::SliceFromMem(h) => {
+                if matches!(p.kind, PacketKind::CacheInval { .. }) {
+                    // §4.1: an in-flight write address drained.
+                    self.ctrl.note_inval(HmcId(h as u8));
+                }
+                self.slices[h].from_mem(p)
+            }
+            Rx::Sm(s) => self.sms[s].deliver(now, p, &mut self.ctrl),
+        }
+    }
+
+    fn tick_comp(&mut self, now: Cycle, comp: Comp) {
+        match comp {
+            Comp::Sms => {
+                for sm in &mut self.sms {
+                    sm.tick(now, &mut self.ctrl);
+                }
+            }
+            Comp::Slices => {
+                for s in &mut self.slices {
+                    Component::tick(s, now);
+                    for (block, hit) in s.block_events.drain(..) {
+                        self.ctrl.note_l2_event(block, hit);
+                    }
+                }
+            }
+            Comp::UpLinks => {
+                for l in &mut self.up {
+                    Component::tick(l, now);
+                }
+            }
+            Comp::Stacks => {
+                for st in &mut self.stacks {
+                    Component::tick(st, now);
+                }
+            }
+            Comp::Net => Component::tick(&mut self.net, now),
+            Comp::Nsus => {
+                for n in &mut self.nsus {
+                    Component::tick(n, now);
+                }
+            }
+            Comp::DownLinks => {
+                for l in &mut self.down {
+                    Component::tick(l, now);
+                }
+            }
+        }
+    }
+
+    fn side(&mut self, now: Cycle, side: SideChannel) {
+        match side {
+            SideChannel::Credits => {
+                for h in 0..self.nsus.len() {
+                    let c = self.nsus[h].take_credits();
+                    for _ in 0..c.cmd {
+                        self.ctrl.mgr.credit_cmd(HmcId(h as u8));
+                    }
+                    if c.read > 0 {
+                        self.ctrl.mgr.credit_read(HmcId(h as u8), c.read as usize);
+                    }
+                    if c.write > 0 {
+                        self.ctrl.mgr.credit_write(HmcId(h as u8), c.write as usize);
+                    }
+                }
+            }
+            SideChannel::Ctrl => self.ctrl.on_cycle(now),
+            SideChannel::Sample => {
+                if self.obs.sample_due(now) {
+                    self.sample_occupancy();
+                }
+            }
+        }
+    }
+
+    fn observe(&mut self, now: Cycle, site: TraceSite, p: &Packet) {
+        self.tracer.record(now, site, p);
+        self.obs.on_packet(now, site, p);
+    }
 }
 
 #[cfg(test)]

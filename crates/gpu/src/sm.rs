@@ -18,6 +18,7 @@ use ndp_common::config::SystemConfig;
 use ndp_common::ids::{Cycle, HmcId, Node, OffloadId, OffloadToken};
 use ndp_common::memmap::MemMap;
 use ndp_common::packet::{LineAccess, Packet, PacketKind};
+use ndp_common::port::OutPort;
 use ndp_common::stats::{IssueStats, NoIssue};
 use ndp_compiler::CompiledKernel;
 use ndp_isa::exec::{Step, WarpExec};
@@ -93,7 +94,7 @@ impl SmConfig {
             l1_lat: cfg.gpu.l1_hit_latency,
             line_bytes: cfg.gpu.line_bytes as u32,
             word_bytes: 4,
-            warps_per_cta: 8,
+            warps_per_cta: cfg.gpu.warps_per_cta,
             eject_rate: 2,
             out_capacity: 128,
             shared_lat: cfg.gpu.l1_hit_latency,
@@ -171,8 +172,9 @@ pub struct Sm {
     next_token: u64,
     inflight: HashMap<OffloadToken, Inflight>,
     buffers: SmPacketBuffers,
-    /// Outgoing packets (cache traffic + granted NDP packets).
-    pub out: VecDeque<Packet>,
+    /// Outgoing packets (cache traffic + granted NDP packets), drained by
+    /// the fabric's SM-eject edge.
+    pub out: OutPort,
     /// Barrier bookkeeping: cta → arrived count.
     barrier_arrived: HashMap<u32, u32>,
     /// cta → live warps resident.
@@ -205,7 +207,7 @@ impl Sm {
             next_token: 0,
             inflight: HashMap::new(),
             buffers: SmPacketBuffers::new(sys),
-            out: VecDeque::new(),
+            out: OutPort::new(cfg.out_capacity),
             barrier_arrived: HashMap::new(),
             cta_alive: HashMap::new(),
             rr_cursor: 0,

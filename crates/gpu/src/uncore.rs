@@ -6,11 +6,10 @@
 //! Fig. 6(a)); misses forward to the owning vault. Cache invalidations from
 //! NSU writes (§4.2) land here.
 
-use std::collections::VecDeque;
-
 use ndp_common::config::SystemConfig;
 use ndp_common::ids::{Cycle, Node};
 use ndp_common::packet::{Packet, PacketKind, NO_BLOCK};
+use ndp_common::port::{Component, InPort, OutPort};
 use ndp_common::stats::CacheStats;
 
 use crate::cache::{Cache, Probe};
@@ -23,13 +22,14 @@ pub struct L2Slice {
     pub id: u8,
     cache: Cache<L2Waiter>,
     /// Arrivals from SMs, delayed by the on-die interconnect.
-    in_q: VecDeque<(Cycle, Packet)>,
+    in_q: InPort,
     /// Arrivals from the memory side (GPU link, down direction).
-    from_mem: VecDeque<Packet>,
+    from_mem: OutPort,
     /// Departures to the memory side (GPU link, up direction).
-    pub to_mem: VecDeque<Packet>,
-    /// Responses to SMs (delayed by the on-die interconnect).
-    pub to_sm: VecDeque<(Cycle, Packet)>,
+    pub to_mem: OutPort,
+    /// Responses to SMs (delayed by the on-die interconnect or L2 hit
+    /// latency; ready cycles are stamped per packet).
+    pub to_sm: InPort,
     ondie_lat: Cycle,
     l2_lat: Cycle,
     line_bytes: u32,
@@ -56,10 +56,10 @@ impl L2Slice {
                 cfg.gpu.line_bytes,
                 cfg.gpu.l2_mshrs,
             ),
-            in_q: VecDeque::new(),
-            from_mem: VecDeque::new(),
-            to_mem: VecDeque::new(),
-            to_sm: VecDeque::new(),
+            in_q: InPort::new(16, 256),
+            from_mem: OutPort::unbounded(),
+            to_mem: OutPort::new(64),
+            to_sm: InPort::unbounded(0),
             ondie_lat: 16,
             l2_lat: cfg.gpu.l2_hit_latency as Cycle,
             line_bytes: cfg.gpu.line_bytes as u32,
@@ -73,13 +73,13 @@ impl L2Slice {
 
     /// Can the slice take more SM-side packets this cycle?
     pub fn can_accept(&self) -> bool {
-        self.in_q.len() < 256
+        self.in_q.can_accept()
     }
 
     /// A packet leaves an SM toward this slice.
     pub fn from_sm(&mut self, now: Cycle, p: Packet) {
         self.ondie_bytes += p.size as u64;
-        self.in_q.push_back((now + self.ondie_lat, p));
+        self.in_q.push(now, p);
     }
 
     /// A packet arrives from the memory side.
@@ -89,10 +89,7 @@ impl L2Slice {
 
     /// Pop a response ready for an SM.
     pub fn pop_to_sm(&mut self, now: Cycle) -> Option<Packet> {
-        match self.to_sm.front() {
-            Some(&(ready, _)) if ready <= now => self.to_sm.pop_front().map(|(_, p)| p),
-            _ => None,
-        }
+        self.to_sm.pop_ready(now)
     }
 
     pub fn stats(&self) -> CacheStats {
@@ -113,7 +110,7 @@ impl L2Slice {
                 PacketKind::ReadResp { addr, bytes, .. } => {
                     for (node, tag) in self.cache.fill(addr) {
                         self.ondie_bytes += (bytes + 16) as u64;
-                        self.to_sm.push_back((
+                        self.to_sm.push_at(
                             now + self.ondie_lat,
                             Packet::new(
                                 Node::L2(self.id),
@@ -121,7 +118,7 @@ impl L2Slice {
                                 now,
                                 PacketKind::ReadResp { addr, bytes, tag },
                             ),
-                        ));
+                        );
                     }
                 }
                 PacketKind::WriteAck { .. } => {
@@ -137,14 +134,12 @@ impl L2Slice {
         // SM-side arrivals: up to `throughput` probes per cycle, stalling
         // when the memory-side output backs up (GPU-link backpressure).
         for _ in 0..self.throughput {
-            if self.to_mem.len() >= 64 {
+            if !self.to_mem.can_accept() {
                 break;
             }
-            match self.in_q.front() {
-                Some(&(ready, _)) if ready <= now => {}
-                _ => break,
-            }
-            let (_, p) = self.in_q.pop_front().expect("checked");
+            let Some(p) = self.in_q.pop_ready(now) else {
+                break;
+            };
             self.process_sm_packet(now, p);
         }
     }
@@ -164,7 +159,7 @@ impl L2Slice {
                 match probe {
                     Probe::Hit => {
                         self.ondie_bytes += (bytes + 16) as u64;
-                        self.to_sm.push_back((
+                        self.to_sm.push_at(
                             now + self.l2_lat,
                             Packet::new(
                                 Node::L2(self.id),
@@ -172,7 +167,7 @@ impl L2Slice {
                                 now,
                                 PacketKind::ReadResp { addr, bytes, tag },
                             ),
-                        ));
+                        );
                     }
                     Probe::MissNew => {
                         let coord_dst = p.dst; // slice id == hmc id
@@ -198,7 +193,7 @@ impl L2Slice {
                     Probe::MissMerged => {}
                     Probe::MshrFull => {
                         // Retry next cycle: requeue at the front.
-                        self.in_q.push_front((now, p));
+                        self.in_q.push_front_at(now, p);
                     }
                 }
             }
@@ -252,6 +247,12 @@ impl L2Slice {
             }
             other => panic!("L2 cannot consume {other:?} from SM side"),
         }
+    }
+}
+
+impl Component for L2Slice {
+    fn tick(&mut self, now: Cycle) {
+        L2Slice::tick(self, now);
     }
 }
 

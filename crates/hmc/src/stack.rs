@@ -6,6 +6,7 @@ use ndp_common::config::SystemConfig;
 use ndp_common::ids::{Cycle, HmcId, Node};
 use ndp_common::memmap::MemMap;
 use ndp_common::packet::{Packet, PacketKind};
+use ndp_common::port::{Component, OutPort};
 use ndp_common::stats::DramStats;
 use ndp_dram::{VaultController, VaultRequest};
 
@@ -15,10 +16,10 @@ pub struct HmcStack {
     vaults: Vec<VaultController<Packet>>,
     /// Packets routed to a vault whose queue was full.
     vault_pending: Vec<VecDeque<Packet>>,
-    /// Outputs drained by the system each cycle.
-    pub to_gpu: VecDeque<Packet>,
-    pub to_nsu: VecDeque<Packet>,
-    pub to_memnet: VecDeque<Packet>,
+    /// Outputs drained by the fabric each cycle.
+    pub to_gpu: OutPort,
+    pub to_nsu: OutPort,
+    pub to_memnet: OutPort,
     memmap: MemMap,
     line_bytes: u32,
     burst_bytes: u32,
@@ -45,9 +46,9 @@ impl HmcStack {
             vault_pending: (0..cfg.hmc.vaults_per_hmc)
                 .map(|_| VecDeque::new())
                 .collect(),
-            to_gpu: VecDeque::new(),
-            to_nsu: VecDeque::new(),
-            to_memnet: VecDeque::new(),
+            to_gpu: OutPort::unbounded(),
+            to_nsu: OutPort::unbounded(),
+            to_memnet: OutPort::unbounded(),
             memmap: MemMap::new(cfg),
             line_bytes: cfg.gpu.line_bytes as u32,
             burst_bytes: cfg.hmc.burst_bytes as u32,
@@ -226,7 +227,7 @@ impl HmcStack {
     }
 
     /// Requests/packets queued anywhere inside this stack: pending vault
-    /// admissions, vault controller queues, and the three port queues
+    /// admissions, vault controller queues, and the three output ports
     /// (occupancy sampling).
     pub fn queued_requests(&self) -> usize {
         self.vault_pending.iter().map(|q| q.len()).sum::<usize>()
@@ -234,6 +235,12 @@ impl HmcStack {
             + self.to_gpu.len()
             + self.to_nsu.len()
             + self.to_memnet.len()
+    }
+}
+
+impl Component for HmcStack {
+    fn tick(&mut self, now: Cycle) {
+        HmcStack::tick(self, now);
     }
 }
 

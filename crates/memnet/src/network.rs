@@ -1,11 +1,10 @@
 //! The memory network proper: bandwidth-modelled links on every hypercube
 //! edge, per-hop dimension-order forwarding, and per-node delivery queues.
 
-use std::collections::VecDeque;
-
 use ndp_common::ids::{Cycle, HmcId};
 use ndp_common::link::Link;
 use ndp_common::packet::Packet;
+use ndp_common::port::{Component, OutPort};
 
 use crate::topology::Topology;
 
@@ -16,7 +15,7 @@ pub struct MemNetwork {
     links: Vec<Vec<Link>>,
     /// Packets that reached their destination stack, awaiting pickup by the
     /// stack's logic-layer crossbar.
-    delivered: Vec<VecDeque<Packet>>,
+    delivered: Vec<OutPort>,
 }
 
 impl MemNetwork {
@@ -37,7 +36,7 @@ impl MemNetwork {
         MemNetwork {
             topo,
             links,
-            delivered: (0..nodes).map(|_| VecDeque::new()).collect(),
+            delivered: (0..nodes).map(|_| OutPort::unbounded()).collect(),
         }
     }
 
@@ -117,6 +116,11 @@ impl MemNetwork {
         }
     }
 
+    /// Inspect the next packet delivered to stack `at` without removing it.
+    pub fn peek_delivered(&self, at: HmcId) -> Option<&Packet> {
+        self.delivered[at.0 as usize].front()
+    }
+
     /// Take the next packet delivered to stack `at`.
     pub fn pop_delivered(&mut self, at: HmcId) -> Option<Packet> {
         self.delivered[at.0 as usize].pop_front()
@@ -142,6 +146,12 @@ impl MemNetwork {
             .map(|l| l.in_transit())
             .sum::<usize>()
             + self.delivered.iter().map(|q| q.len()).sum::<usize>()
+    }
+}
+
+impl Component for MemNetwork {
+    fn tick(&mut self, now: Cycle) {
+        MemNetwork::tick(self, now);
     }
 }
 

@@ -7,16 +7,10 @@ use ndp_common::config::SystemConfig;
 use ndp_common::ids::{Cycle, HmcId, Node, OffloadId, OffloadToken};
 use ndp_common::memmap::MemMap;
 use ndp_common::packet::{LineAccess, Packet, PacketKind};
+use ndp_common::port::{Component, OutPort};
 use ndp_isa::offload::{NsuInstr, OffloadBlock};
 
-/// Buffer-entry releases to piggyback back to the GPU's buffer manager
-/// (§4.3). Drained by the system each cycle; carries no wire traffic.
-#[derive(Debug, Default, Clone, Copy)]
-pub struct CreditEvents {
-    pub cmd: u32,
-    pub read: u32,
-    pub write: u32,
-}
+pub use ndp_common::port::CreditEvents;
 
 struct CmdInfo {
     token: OffloadToken,
@@ -63,7 +57,7 @@ pub struct Nsu {
     sfu_lat: u64,
     /// Outgoing packets (DRAM writes, ACKs) — routed by the stack's logic
     /// layer (possibly across the memory network for remote vaults).
-    pub out: VecDeque<Packet>,
+    pub out: OutPort,
     pub credits: CreditEvents,
     /// NSU cycle counter.
     nsu_now: u64,
@@ -95,7 +89,7 @@ impl Nsu {
             write_capacity: cfg.nsu.write_addr_entries,
             memmap: MemMap::new(cfg),
             sfu_lat: 8,
-            out: VecDeque::new(),
+            out: OutPort::unbounded(),
             credits: CreditEvents::default(),
             nsu_now: 0,
             rr_cursor: 0,
@@ -377,6 +371,12 @@ impl Nsu {
     /// Drain accumulated credit events.
     pub fn take_credits(&mut self) -> CreditEvents {
         std::mem::take(&mut self.credits)
+    }
+}
+
+impl Component for Nsu {
+    fn tick(&mut self, now: Cycle) {
+        Nsu::tick(self, now);
     }
 }
 

@@ -1,0 +1,96 @@
+//! Golden determinism test: a small fig7-scale sweep must produce exactly
+//! the committed `RunResult`s, field for field.
+//!
+//! The simulator is a deterministic cycle-stepped model — same program,
+//! same config, same outputs, on every host. This test pins that contract
+//! so a refactor of the component wiring (or any "harmless" cleanup) cannot
+//! silently change simulation outcomes. The golden file is the `{:#?}`
+//! rendering of the results, which depends only on `std` Debug formatting.
+//!
+//! To re-bless after an *intentional* model change:
+//!
+//! ```text
+//! NDP_BLESS=1 cargo test --test golden_determinism
+//! git diff tests/golden/fig7_small.txt   # review before committing!
+//! ```
+
+use standardized_ndp::prelude::*;
+use std::path::PathBuf;
+
+const MAX: u64 = 30_000_000;
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+        .join("fig7_small.txt")
+}
+
+/// The fig7 sweep at test scale: every config column of the speedup figure
+/// over a workload sample that exercises GPU-side caching (Vadd), irregular
+/// access (Bfs), and the offload protocol (Bprop).
+fn sweep() -> String {
+    let mut out = String::new();
+    for (cname, cfg) in [
+        ("baseline", SystemConfig::baseline()),
+        ("naive_ndp", SystemConfig::naive_ndp()),
+        ("ndp_dynamic_cache", SystemConfig::ndp_dynamic_cache()),
+    ] {
+        for w in [Workload::Vadd, Workload::Bfs, Workload::Bprop] {
+            let mut cfg = cfg.clone();
+            cfg.gpu.num_sms = 8;
+            let p = w.build(&Scale {
+                warps: 64,
+                iters: 4,
+            });
+            let r = System::new(cfg, &p).run(MAX);
+            assert!(!r.timed_out, "{cname}/{} timed out", w.name());
+            out.push_str(&format!("=== {cname} / {} ===\n{r:#?}\n", w.name()));
+        }
+    }
+    out
+}
+
+#[test]
+fn fig7_small_matches_golden() {
+    let got = sweep();
+    let path = golden_path();
+    if std::env::var_os("NDP_BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &got).unwrap();
+        eprintln!("blessed {} ({} bytes)", path.display(), got.len());
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); run with NDP_BLESS=1 to create it",
+            path.display()
+        )
+    });
+    if got != want {
+        // Find the first diverging line so the failure is readable without
+        // dumping two multi-kilobyte blobs.
+        let (mut line, mut a, mut b) = (0usize, "", "");
+        for (i, (g, w)) in got.lines().zip(want.lines()).enumerate() {
+            if g != w {
+                (line, a, b) = (i + 1, g, w);
+                break;
+            }
+        }
+        panic!(
+            "simulation output diverged from golden {} at line {line}:\n  golden: {b}\n  got:    {a}\n\
+             (total: {} golden lines, {} current lines)\n\
+             If this change is intentional, re-bless with NDP_BLESS=1.",
+            path.display(),
+            want.lines().count(),
+            got.lines().count(),
+        );
+    }
+}
+
+/// Same sweep twice in one process must agree with itself — catches any
+/// accidental dependence on global state, iteration order, or time.
+#[test]
+fn fig7_small_is_self_deterministic() {
+    assert_eq!(sweep(), sweep(), "back-to-back runs diverged");
+}
