@@ -45,7 +45,9 @@ fn main() {
     let program = w.build(&scale);
     let mut sys = System::new(cfg, &program);
     sys.enable_obs(ObsConfig::on());
-    let r = sys.run(ndp_core::experiments::DEFAULT_MAX_CYCLES);
+    let r = sys
+        .run(ndp_core::experiments::DEFAULT_MAX_CYCLES)
+        .expect("no protocol violation");
 
     println!(
         "obs_report: {} / {} — {} cycles, {} offload blocks completed\n",

@@ -45,6 +45,19 @@ impl CreditPool {
         }
     }
 
+    /// Return `n` credits, clamped at capacity. `false` signals an
+    /// over-release (a double credit return — e.g. from a duplicated
+    /// packet), which the caller reports as an invariant violation.
+    #[must_use]
+    pub fn try_release(&mut self, n: usize) -> bool {
+        if self.available + n > self.capacity {
+            self.available = self.capacity;
+            return false;
+        }
+        self.available += n;
+        true
+    }
+
     /// Return `n` credits. Panics if that would exceed capacity — a protocol
     /// bug (double release) rather than a runtime condition.
     pub fn release(&mut self, n: usize) {

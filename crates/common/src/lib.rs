@@ -6,13 +6,19 @@
 //! bandwidth-modelled link primitive, credit pools for the NSU buffer
 //! reservation scheme (§4.3), deterministic value/hash functions used to
 //! synthesize memory contents, the page→HMC mapping (§5, random 4 KB
-//! page interleaving), and the unified observability layer ([`obs`]:
+//! page interleaving), the unified observability layer ([`obs`]:
 //! latency histograms, occupancy time-series, protocol event tracing and
-//! Chrome-trace export).
+//! Chrome-trace export), and the robustness layer: structured simulation
+//! errors ([`error`]), the forward-progress watchdog and stall reports
+//! ([`watchdog`]), the protocol-invariant engine ([`invariant`]), and the
+//! deterministic fault injector ([`fault`]).
 
 pub mod config;
 pub mod credit;
+pub mod error;
+pub mod fault;
 pub mod ids;
+pub mod invariant;
 pub mod link;
 pub mod memmap;
 pub mod obs;
@@ -20,8 +26,13 @@ pub mod packet;
 pub mod port;
 pub mod rng;
 pub mod stats;
+pub mod watchdog;
 
 pub use config::SystemConfig;
+pub use error::{PacketSummary, SimError};
+pub use fault::{FaultAction, FaultConfig, FaultInjector, FaultStats, InjectedFault};
 pub use ids::{Cycle, HmcId, Node, OffloadToken, SmId, VaultId};
+pub use invariant::Invariants;
 pub use packet::{Packet, PacketKind};
 pub use port::{Component, Fabric, FabricCtx, InPort, OutPort};
+pub use watchdog::{StallReport, Watchdog, DEFAULT_WATCHDOG_CYCLES};

@@ -90,6 +90,36 @@ impl MemMap {
     pub fn num_hmcs(&self) -> usize {
         self.num_hmcs as usize
     }
+
+    /// Search the first `pages` pages for an address that decodes to the
+    /// given stack and vault. With the random page map there is no closed
+    /// form, but a short scan finds every (hmc, vault) pair with
+    /// overwhelming probability; an exhausted scan is a typed error, not a
+    /// panic (test helpers used to panic here).
+    pub fn find_addr(
+        &self,
+        hmc: HmcId,
+        vault: VaultId,
+        pages: u64,
+    ) -> Result<u64, crate::error::SimError> {
+        for page in 0..pages {
+            let base = page * self.page_bytes;
+            if self.hmc_of(base) != hmc {
+                continue;
+            }
+            for line in 0..(self.page_bytes / self.line_bytes) {
+                let addr = base + line * self.line_bytes;
+                if self.vault_of(addr) == vault {
+                    return Ok(addr);
+                }
+            }
+        }
+        Err(crate::error::SimError::NoAddrForVault {
+            hmc: hmc.0,
+            vault: vault.0,
+            pages_searched: pages,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -153,6 +183,33 @@ mod tests {
         assert_eq!(m.line_of(0x1234), 0x1200 & !(127));
         assert_eq!(m.line_of(0x1280), 0x1280);
         assert_eq!(m.line_of(0x12ff), 0x1280);
+    }
+
+    #[test]
+    fn find_addr_hits_every_hmc_vault_pair() {
+        let m = map();
+        for h in 0..8u8 {
+            for v in 0..16u8 {
+                let addr = m.find_addr(HmcId(h), VaultId(v), 4096).unwrap();
+                assert_eq!(m.hmc_of(addr), HmcId(h));
+                assert_eq!(m.vault_of(addr), VaultId(v));
+            }
+        }
+    }
+
+    #[test]
+    fn find_addr_returns_typed_error_when_exhausted() {
+        let m = map();
+        // Zero pages searched can never match.
+        let err = m.find_addr(HmcId(0), VaultId(0), 0).unwrap_err();
+        assert!(matches!(
+            err,
+            crate::error::SimError::NoAddrForVault {
+                hmc: 0,
+                vault: 0,
+                ..
+            }
+        ));
     }
 
     #[test]

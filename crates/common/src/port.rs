@@ -23,6 +23,8 @@
 use std::collections::VecDeque;
 use std::ops::Index;
 
+use crate::error::SimError;
+use crate::fault::{FaultAction, InjectedFault};
 use crate::ids::Cycle;
 use crate::obs::TraceSite;
 use crate::packet::Packet;
@@ -224,15 +226,24 @@ pub trait FabricCtx {
     /// Head-of-line packet of one transmit lane, if ready this cycle.
     fn peek(&self, now: Cycle, tx: Self::Tx, lane: usize) -> Option<&Packet>;
     /// Routing table: the receiver of a packet at a transmit-lane head.
-    /// Must panic loudly on unroutable packets — never misroute silently.
-    fn route(&self, tx: Self::Tx, lane: usize, p: &Packet) -> Self::Rx;
+    /// Must return a structured error on unroutable packets — never
+    /// misroute silently.
+    fn route(
+        &self,
+        now: Cycle,
+        tx: Self::Tx,
+        lane: usize,
+        p: &Packet,
+    ) -> Result<Self::Rx, SimError>;
     /// May the receiver take this packet now? (Uniform backpressure.)
     fn can_accept(&self, rx: Self::Rx, p: &Packet) -> bool;
     /// Remove the head packet of a transmit lane (only after a successful
     /// `peek` + `can_accept` in the same cycle).
     fn pop(&mut self, now: Cycle, tx: Self::Tx, lane: usize) -> Packet;
-    /// Hand a packet to its receiver.
-    fn accept(&mut self, now: Cycle, rx: Self::Rx, p: Packet);
+    /// Hand a packet to its receiver. Errors are protocol violations
+    /// detected at delivery (overflow past a credit bound, an ACK for an
+    /// unknown warp, an unconsumable packet kind).
+    fn accept(&mut self, now: Cycle, rx: Self::Rx, p: Packet) -> Result<(), SimError>;
     /// Advance one component group by one cycle.
     fn tick_comp(&mut self, now: Cycle, comp: Self::Comp);
     /// Run one non-packet side channel.
@@ -240,6 +251,17 @@ pub trait FabricCtx {
     /// Observation hook: called exactly once per packet movement on edges
     /// with a [`TraceSite`], from [`run_edge`] only.
     fn observe(&mut self, now: Cycle, site: TraceSite, p: &Packet);
+
+    /// Fault-injection hook: the injector's decision for the packet at the
+    /// head of a lane. The default never faults; a machine carrying a
+    /// [`FaultInjector`](crate::fault::FaultInjector) forwards to it.
+    fn fault(&self, _now: Cycle, _tx: Self::Tx, _p: &Packet) -> FaultAction {
+        FaultAction::None
+    }
+    /// An injected fault actually occurred (accounting).
+    fn note_fault(&mut self, _now: Cycle, _fault: InjectedFault) {}
+    /// A packet crossed this edge (forward-progress hook for watchdogs).
+    fn moved(&mut self, _now: Cycle, _tx: Self::Tx) {}
 }
 
 /// One edge of the routing table: a transmit port kind, plus the trace
@@ -265,30 +287,84 @@ pub struct Stage<C: FabricCtx> {
     pub op: Op<C>,
 }
 
+/// What `run_edge` resolved to do with one lane-head packet.
+enum Step<R> {
+    /// Lane empty, or head not ready, or receiver backpressure, or an
+    /// injected delay holding the head: stop draining this lane.
+    Stall,
+    /// Injected delay is holding the head (counts as a fault occurrence).
+    Hold,
+    /// Injected drop: the packet vanishes in transit.
+    Drop,
+    /// Normal delivery; `dup` requests a second injected copy.
+    Deliver { rx: R, dup: bool },
+}
+
 /// Move packets across one edge: for every lane, drain the head packet
 /// into its routed receiver until the lane empties or the receiver exerts
 /// backpressure. This is the *only* packet-movement loop in the simulator,
-/// and the single site at which [`FabricCtx::observe`] fires.
-pub fn run_edge<C: FabricCtx>(ctx: &mut C, now: Cycle, edge: &Edge<C>) {
+/// the single site at which [`FabricCtx::observe`] fires, and the single
+/// site at which faults are injected ([`FabricCtx::fault`]): a dropped
+/// packet is popped but never delivered or observed (it vanishes on the
+/// wire, so downstream conservation counters see the loss); a delayed
+/// packet holds its queue head; a duplicated packet is delivered and
+/// observed twice.
+pub fn run_edge<C: FabricCtx>(ctx: &mut C, now: Cycle, edge: &Edge<C>) -> Result<(), SimError> {
     for lane in 0..ctx.lanes(edge.tx) {
         loop {
-            let rx = match ctx.peek(now, edge.tx, lane) {
-                None => break,
-                Some(p) => {
-                    let rx = ctx.route(edge.tx, lane, p);
-                    if !ctx.can_accept(rx, p) {
-                        break; // head-of-line backpressure: retry next cycle
+            let step = match ctx.peek(now, edge.tx, lane) {
+                None => Step::Stall,
+                Some(p) => match ctx.fault(now, edge.tx, p) {
+                    FaultAction::Delay { until } if now < until => Step::Hold,
+                    FaultAction::Drop => Step::Drop,
+                    action => {
+                        let rx = ctx.route(now, edge.tx, lane, p)?;
+                        if ctx.can_accept(rx, p) {
+                            Step::Deliver {
+                                rx,
+                                dup: action == FaultAction::Duplicate,
+                            }
+                        } else {
+                            Step::Stall // head-of-line backpressure
+                        }
                     }
-                    rx
-                }
+                },
             };
-            let p = ctx.pop(now, edge.tx, lane);
-            if let Some(site) = edge.site {
-                ctx.observe(now, site, &p);
+            match step {
+                Step::Stall => break,
+                Step::Hold => {
+                    ctx.note_fault(now, InjectedFault::Held);
+                    break; // held head gates the lane, like backpressure
+                }
+                Step::Drop => {
+                    let _lost = ctx.pop(now, edge.tx, lane);
+                    ctx.note_fault(now, InjectedFault::Dropped);
+                    // Deliberately neither observed nor counted as progress.
+                }
+                Step::Deliver { rx, dup } => {
+                    let p = ctx.pop(now, edge.tx, lane);
+                    ctx.moved(now, edge.tx);
+                    if let Some(site) = edge.site {
+                        ctx.observe(now, site, &p);
+                    }
+                    let copy = dup.then(|| p.clone());
+                    ctx.accept(now, rx, p)?;
+                    if let Some(copy) = copy {
+                        // The duplicate needs its own slot; skip it if the
+                        // receiver filled up on the original.
+                        if ctx.can_accept(rx, &copy) {
+                            ctx.note_fault(now, InjectedFault::Duplicated);
+                            if let Some(site) = edge.site {
+                                ctx.observe(now, site, &copy);
+                            }
+                            ctx.accept(now, rx, copy)?;
+                        }
+                    }
+                }
             }
-            ctx.accept(now, rx, p);
         }
     }
+    Ok(())
 }
 
 /// A declarative pipeline over a [`FabricCtx`]: executes its stages in
@@ -298,17 +374,18 @@ pub struct Fabric<'a, C: FabricCtx> {
 }
 
 impl<C: FabricCtx> Fabric<'_, C> {
-    pub fn tick(&self, ctx: &mut C, now: Cycle) {
+    pub fn tick(&self, ctx: &mut C, now: Cycle) -> Result<(), SimError> {
         for stage in self.stages {
             if !ctx.gate_open(stage.gate, now) {
                 continue;
             }
             match &stage.op {
                 Op::Tick(c) => ctx.tick_comp(now, *c),
-                Op::Route(e) => run_edge(ctx, now, e),
+                Op::Route(e) => run_edge(ctx, now, e)?,
                 Op::Side(s) => ctx.side(now, *s),
             }
         }
+        Ok(())
     }
 }
 
@@ -384,11 +461,34 @@ mod tests {
         assert_eq!(tag_of(&p.pop_ready(0).unwrap()), 1, "requeued head first");
     }
 
-    /// A two-lane, one-receiver toy machine for exercising `run_edge`.
+    /// A two-lane, one-receiver toy machine for exercising `run_edge`,
+    /// with an optional scripted fault schedule keyed by packet tag.
     struct Toy {
         tx: Vec<OutPort>,
         rx: OutPort,
         observed: usize,
+        faults: std::collections::HashMap<u64, FaultAction>,
+        dropped: usize,
+        duplicated: usize,
+        held: usize,
+        moves: usize,
+        fail_route: bool,
+    }
+
+    impl Toy {
+        fn new(lanes: usize, rx_capacity: usize) -> Self {
+            Toy {
+                tx: (0..lanes).map(|_| OutPort::unbounded()).collect(),
+                rx: OutPort::new(rx_capacity),
+                observed: 0,
+                faults: Default::default(),
+                dropped: 0,
+                duplicated: 0,
+                held: 0,
+                moves: 0,
+                fail_route: false,
+            }
+        }
     }
 
     impl FabricCtx for Toy {
@@ -407,49 +507,140 @@ mod tests {
         fn peek(&self, _: Cycle, _: (), lane: usize) -> Option<&Packet> {
             self.tx[lane].front()
         }
-        fn route(&self, _: (), _: usize, _: &Packet) {}
+        fn route(&self, now: Cycle, _: (), _: usize, p: &Packet) -> Result<(), SimError> {
+            if self.fail_route {
+                return Err(SimError::Unroutable {
+                    edge: "toy",
+                    cycle: now,
+                    packet: crate::error::PacketSummary::of(p),
+                });
+            }
+            Ok(())
+        }
         fn can_accept(&self, _: (), _: &Packet) -> bool {
             self.rx.can_accept()
         }
         fn pop(&mut self, _: Cycle, _: (), lane: usize) -> Packet {
             self.tx[lane].pop_front().expect("peeked")
         }
-        fn accept(&mut self, _: Cycle, _: (), p: Packet) {
+        fn accept(&mut self, _: Cycle, _: (), p: Packet) -> Result<(), SimError> {
             self.rx.push_back(p);
+            Ok(())
         }
         fn tick_comp(&mut self, _: Cycle, _: ()) {}
         fn side(&mut self, _: Cycle, _: ()) {}
         fn observe(&mut self, _: Cycle, _: TraceSite, _: &Packet) {
             self.observed += 1;
         }
+        fn fault(&self, _: Cycle, _: (), p: &Packet) -> FaultAction {
+            self.faults
+                .get(&tag_of(p))
+                .copied()
+                .unwrap_or(FaultAction::None)
+        }
+        fn note_fault(&mut self, _: Cycle, f: InjectedFault) {
+            match f {
+                InjectedFault::Dropped => self.dropped += 1,
+                InjectedFault::Duplicated => self.duplicated += 1,
+                InjectedFault::Held => self.held += 1,
+            }
+        }
+        fn moved(&mut self, _: Cycle, _: ()) {
+            self.moves += 1;
+        }
     }
+
+    const SITE: Option<TraceSite> = Some(TraceSite::SmEject);
 
     #[test]
     fn run_edge_respects_backpressure_and_observes_each_move() {
-        let mut toy = Toy {
-            tx: vec![OutPort::unbounded(), OutPort::unbounded()],
-            rx: OutPort::new(3),
-            observed: 0,
-        };
+        let mut toy = Toy::new(2, 3);
         for i in 0..4 {
             toy.tx[0].push_back(pkt(i));
             toy.tx[1].push_back(pkt(10 + i));
         }
-        let edge = Edge {
-            tx: (),
-            site: Some(TraceSite::SmEject),
-        };
-        run_edge(&mut toy, 0, &edge);
+        let edge = Edge { tx: (), site: SITE };
+        run_edge(&mut toy, 0, &edge).unwrap();
         assert_eq!(toy.rx.len(), 3, "receiver capacity caps the cycle");
         assert_eq!(toy.observed, 3, "one observation per movement");
+        assert_eq!(toy.moves, 3, "one progress note per movement");
         // Lane 0 drains before lane 1 gets a turn; order within the
         // receiver reflects the lane sweep.
         let tags: Vec<u64> = toy.rx.iter().map(tag_of).collect();
         assert_eq!(tags, vec![0, 1, 2]);
         // Draining the receiver lets the rest through, in lane order.
         toy.rx.clear();
-        run_edge(&mut toy, 1, &edge);
+        run_edge(&mut toy, 1, &edge).unwrap();
         let tags: Vec<u64> = toy.rx.iter().map(tag_of).collect();
         assert_eq!(tags, vec![3, 10, 11]);
+    }
+
+    #[test]
+    fn dropped_packet_vanishes_unobserved() {
+        let mut toy = Toy::new(1, 8);
+        for i in 0..3 {
+            toy.tx[0].push_back(pkt(i));
+        }
+        toy.faults.insert(1, FaultAction::Drop);
+        let edge = Edge { tx: (), site: SITE };
+        run_edge(&mut toy, 0, &edge).unwrap();
+        let tags: Vec<u64> = toy.rx.iter().map(tag_of).collect();
+        assert_eq!(tags, vec![0, 2], "dropped packet never delivered");
+        assert_eq!(toy.dropped, 1);
+        assert_eq!(toy.observed, 2, "a drop is not observed");
+        assert_eq!(toy.moves, 2, "a drop is not progress");
+    }
+
+    #[test]
+    fn delayed_packet_holds_the_lane_then_flows() {
+        let mut toy = Toy::new(1, 8);
+        toy.tx[0].push_back(pkt(0)); // birth 0
+        toy.tx[0].push_back(pkt(1));
+        toy.faults.insert(0, FaultAction::Delay { until: 5 });
+        let edge = Edge { tx: (), site: SITE };
+        run_edge(&mut toy, 0, &edge).unwrap();
+        assert!(toy.rx.is_empty(), "held head gates the whole lane");
+        assert_eq!(toy.held, 1);
+        run_edge(&mut toy, 5, &edge).unwrap();
+        let tags: Vec<u64> = toy.rx.iter().map(tag_of).collect();
+        assert_eq!(tags, vec![0, 1], "order preserved after the hold");
+    }
+
+    #[test]
+    fn duplicated_packet_is_delivered_and_observed_twice() {
+        let mut toy = Toy::new(1, 8);
+        toy.tx[0].push_back(pkt(7));
+        toy.faults.insert(7, FaultAction::Duplicate);
+        let edge = Edge { tx: (), site: SITE };
+        run_edge(&mut toy, 0, &edge).unwrap();
+        let tags: Vec<u64> = toy.rx.iter().map(tag_of).collect();
+        assert_eq!(tags, vec![7, 7]);
+        assert_eq!(toy.duplicated, 1);
+        assert_eq!(toy.observed, 2);
+    }
+
+    #[test]
+    fn duplicate_respects_receiver_capacity() {
+        let mut toy = Toy::new(1, 1);
+        toy.tx[0].push_back(pkt(7));
+        toy.faults.insert(7, FaultAction::Duplicate);
+        let edge = Edge { tx: (), site: SITE };
+        run_edge(&mut toy, 0, &edge).unwrap();
+        assert_eq!(toy.rx.len(), 1, "no overflow: duplicate skipped");
+        assert_eq!(toy.duplicated, 0, "skipped duplicate is not counted");
+    }
+
+    #[test]
+    fn route_errors_propagate_out_of_run_edge() {
+        let mut toy = Toy::new(1, 8);
+        toy.tx[0].push_back(pkt(0));
+        toy.fail_route = true;
+        let edge = Edge { tx: (), site: SITE };
+        let err = run_edge(&mut toy, 3, &edge).unwrap_err();
+        assert!(
+            matches!(err, SimError::Unroutable { cycle: 3, .. }),
+            "{err}"
+        );
+        assert_eq!(toy.tx[0].len(), 1, "packet stays queued on error");
     }
 }

@@ -125,15 +125,24 @@ impl FabricCtx for EdgeRig {
     fn peek(&self, _: Cycle, _: (), lane: usize) -> Option<&Packet> {
         self.lanes[lane].front()
     }
-    fn route(&self, _: (), _: usize, _: &Packet) {}
+    fn route(
+        &self,
+        _: Cycle,
+        _: (),
+        _: usize,
+        _: &Packet,
+    ) -> Result<(), ndp_common::error::SimError> {
+        Ok(())
+    }
     fn can_accept(&self, _: (), _: &Packet) -> bool {
         self.rx.can_accept()
     }
     fn pop(&mut self, _: Cycle, _: (), lane: usize) -> Packet {
         self.lanes[lane].pop_front().expect("peeked")
     }
-    fn accept(&mut self, _: Cycle, _: (), p: Packet) {
+    fn accept(&mut self, _: Cycle, _: (), p: Packet) -> Result<(), ndp_common::error::SimError> {
         self.rx.push_back(p);
+        Ok(())
     }
     fn tick_comp(&mut self, _: Cycle, _: ()) {}
     fn side(&mut self, _: Cycle, _: ()) {}
@@ -167,7 +176,7 @@ proptest! {
         let edge = Edge { tx: (), site: None };
         let mut delivered: Vec<u64> = Vec::new();
         for (now, drain) in drains.iter().enumerate() {
-            ndp_common::port::run_edge(&mut rig, now as Cycle, &edge);
+            ndp_common::port::run_edge(&mut rig, now as Cycle, &edge).unwrap();
             prop_assert!(rig.rx.len() <= rx_capacity);
             for _ in 0..*drain {
                 if let Some(p) = rig.rx.pop_front() {
@@ -186,7 +195,7 @@ proptest! {
             if rig.lanes.iter().all(|l| l.is_empty()) {
                 break;
             }
-            ndp_common::port::run_edge(&mut rig, 1_000_000, &edge);
+            ndp_common::port::run_edge(&mut rig, 1_000_000, &edge).unwrap();
         }
         prop_assert_eq!(delivered.len(), total, "packets lost or duplicated");
         // Per-lane FIFO order: the subsequence of each lane is sorted.

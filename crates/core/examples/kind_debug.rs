@@ -14,7 +14,9 @@ fn main() {
         iters: 8,
     });
     let sys = System::new(cfg, &p);
-    let r = sys.run_with_kind_stats(30_000_000);
+    let r = sys
+        .run_with_kind_stats(30_000_000)
+        .expect("no protocol violation");
     println!("cycles {} link bytes {}", r.0.cycles, r.0.gpu_link_bytes);
     for (i, n) in Packet::KIND_NAMES.iter().enumerate() {
         if r.1[i] > 0 {

@@ -14,11 +14,15 @@ use crate::system::System;
 /// Safety cap: no evaluation run should need more cycles than this.
 pub const DEFAULT_MAX_CYCLES: u64 = 40_000_000;
 
-/// Run one workload under one configuration.
+/// Run one workload under one configuration. Protocol violations panic
+/// here: experiment matrices have no error channel per cell, and a violated
+/// invariant means the simulator itself is broken.
 pub fn run_workload(w: Workload, cfg: SystemConfig, scale: &Scale, max_cycles: u64) -> RunResult {
     let program = w.build(scale);
     let sys = System::new(cfg, &program);
-    let mut r = sys.run(max_cycles);
+    let mut r = sys
+        .run(max_cycles)
+        .unwrap_or_else(|e| panic!("{}/{:?}: {e}", w.name(), "experiment"));
     r.workload = w.name().to_string();
     r
 }

@@ -176,11 +176,15 @@ impl OffloadController {
     }
 
     /// A cache-invalidation packet from stack `hmc` arrived at the GPU —
-    /// one WTA's DRAM write completed.
-    pub fn note_inval(&mut self, hmc: HmcId) {
+    /// one WTA's DRAM write completed. Returns `false` for an *orphan*
+    /// invalidation (no matching in-flight WTA), which the caller reports
+    /// to the invariant engine instead of silently tolerating.
+    #[must_use]
+    pub fn note_inval(&mut self, hmc: HmcId) -> bool {
         let c = &mut self.wta_inflight[hmc.0 as usize];
-        debug_assert!(*c > 0, "inval without matching WTA");
+        let matched = *c > 0;
         *c = c.saturating_sub(1);
+        matched
     }
 
     /// Called by the system once per cycle.
@@ -536,10 +540,11 @@ mod tests {
         assert!(!c.page_remap_safe(HmcId(3)));
         assert!(!c.page_remap_safe(HmcId(5)));
         assert!(c.page_remap_safe(HmcId(0)), "other stacks unaffected");
-        c.note_inval(HmcId(3));
+        assert!(c.note_inval(HmcId(3)));
         assert!(!c.page_remap_safe(HmcId(3)));
-        c.note_inval(HmcId(3));
-        c.note_inval(HmcId(5));
+        assert!(c.note_inval(HmcId(3)));
+        assert!(c.note_inval(HmcId(5)));
+        assert!(!c.note_inval(HmcId(5)), "orphan inval reported");
         assert!(c.page_remap_safe(HmcId(3)));
         assert!(c.page_remap_safe(HmcId(5)));
     }

@@ -1,12 +1,14 @@
 //! Simulation results: everything the figure drivers need.
 
+use ndp_common::fault::FaultStats;
 use ndp_common::obs::ObsReport;
 use ndp_common::stats::{CacheStats, DramStats, IssueStats};
+use ndp_common::watchdog::StallReport;
 use ndp_energy::{Activity, EnergyBreakdown, EnergyParams};
 use serde::Serialize;
 
 /// Aggregated outcome of one simulation run.
-#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+#[derive(Clone, Default, PartialEq, Serialize)]
 pub struct RunResult {
     pub workload: String,
     pub config: String,
@@ -46,6 +48,52 @@ pub struct RunResult {
     /// Observability report (latency histograms, occupancy time-series,
     /// protocol events) — `Some` only when observability was enabled.
     pub obs: Option<ObsReport>,
+    /// Structured stall diagnosis — `Some` only when the forward-progress
+    /// watchdog aborted the run.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub stall: Option<Box<StallReport>>,
+    /// Injected-fault occurrence counts — `Some` only when the fault
+    /// injector was armed for the run.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub faults: Option<FaultStats>,
+}
+
+/// Hand-rolled so `stall` and `faults` appear only when present:
+/// golden-file `{:#?}` dumps of clean runs stay byte-identical to the
+/// pre-watchdog format.
+impl std::fmt::Debug for RunResult {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut d = f.debug_struct("RunResult");
+        d.field("workload", &self.workload)
+            .field("config", &self.config)
+            .field("cycles", &self.cycles)
+            .field("timed_out", &self.timed_out)
+            .field("issue", &self.issue)
+            .field("l1", &self.l1)
+            .field("l2", &self.l2)
+            .field("dram", &self.dram)
+            .field("gpu_link_bytes", &self.gpu_link_bytes)
+            .field("gpu_link_ndp_bytes", &self.gpu_link_ndp_bytes)
+            .field("inval_bytes", &self.inval_bytes)
+            .field("memnet_bytes", &self.memnet_bytes)
+            .field("intra_hmc_bytes", &self.intra_hmc_bytes)
+            .field("ondie_bytes", &self.ondie_bytes)
+            .field("nsu_instrs", &self.nsu_instrs)
+            .field("offered", &self.offered)
+            .field("offloaded", &self.offloaded)
+            .field("nsu_occupancy", &self.nsu_occupancy)
+            .field("nsu_icache_util", &self.nsu_icache_util)
+            .field("sm_buffer_peaks", &self.sm_buffer_peaks)
+            .field("activity", &self.activity)
+            .field("obs", &self.obs);
+        if let Some(stall) = &self.stall {
+            d.field("stall", stall);
+        }
+        if let Some(faults) = &self.faults {
+            d.field("faults", faults);
+        }
+        d.finish()
+    }
 }
 
 impl RunResult {

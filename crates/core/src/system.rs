@@ -3,11 +3,17 @@
 use std::sync::Arc;
 
 use ndp_common::config::{OffloadPolicy, SystemConfig};
+use ndp_common::error::{PacketSummary, SimError};
+use ndp_common::fault::{FaultAction, FaultConfig, FaultInjector, FaultStats, InjectedFault};
 use ndp_common::ids::{Cycle, HmcId, Node};
+use ndp_common::invariant::Invariants;
 use ndp_common::link::Link;
 use ndp_common::obs::{Obs, ObsConfig};
 use ndp_common::packet::{Packet, PacketKind};
 use ndp_common::port::{Component, Edge, Fabric, FabricCtx, Op, Stage};
+use ndp_common::watchdog::{
+    CreditBalance, QueueDepth, StallReport, Watchdog, DEFAULT_WATCHDOG_CYCLES,
+};
 use ndp_compiler::{compile, CompiledKernel, CompilerConfig};
 use ndp_energy::Activity;
 use ndp_gpu::sm::{Sm, SmConfig};
@@ -39,6 +45,12 @@ pub struct System {
     /// Optional observability layer (latency histograms, occupancy
     /// time-series, event export); disabled by default.
     pub obs: Obs,
+    /// Protocol-invariant engine, fed from the fabric's observation site.
+    invariants: Invariants,
+    /// Forward-progress watchdog (`None` disables; `NDP_WATCHDOG=0`).
+    watchdog: Option<Watchdog>,
+    /// Deterministic fault injector (`None` = no faults, the default).
+    faults: Option<FaultInjector>,
     now: Cycle,
     ndp_on: bool,
     nsu_div: u64,
@@ -107,10 +119,41 @@ impl System {
             ctrl,
             tracer: Tracer::disabled(),
             obs: Obs::disabled(),
+            invariants: Invariants::new(Invariants::deep_default()),
+            watchdog: match std::env::var("NDP_WATCHDOG")
+                .ok()
+                .and_then(|v| v.parse::<Cycle>().ok())
+            {
+                Some(0) => None,
+                Some(t) => Some(Watchdog::new(t, &Tx::NAMES)),
+                None => Some(Watchdog::new(DEFAULT_WATCHDOG_CYCLES, &Tx::NAMES)),
+            },
+            faults: FaultConfig::from_env().map(FaultInjector::new),
             now: 0,
             ndp_on,
             nsu_div,
         }
+    }
+
+    /// Override the watchdog threshold (`None` disables the watchdog).
+    pub fn set_watchdog(&mut self, threshold: Option<Cycle>) {
+        self.watchdog = threshold.map(|t| Watchdog::new(t, &Tx::NAMES));
+    }
+
+    /// Arm the deterministic fault injector for this run.
+    pub fn inject_faults(&mut self, cfg: FaultConfig) {
+        self.faults = cfg.is_active().then(|| FaultInjector::new(cfg));
+    }
+
+    /// Force deep per-token invariant checking on or off (overrides the
+    /// `NDP_DEEP_INVARIANTS` / debug-build default).
+    pub fn set_deep_invariants(&mut self, deep: bool) {
+        self.invariants.set_deep(deep);
+    }
+
+    /// Occurrence counts of injected faults, if the injector is armed.
+    pub fn fault_stats(&self) -> Option<FaultStats> {
+        self.faults.as_ref().map(|f| f.stats)
     }
 
     /// Record up to `limit` packet movements for protocol inspection.
@@ -125,11 +168,29 @@ impl System {
         self.obs = Obs::new(cfg);
     }
 
-    /// One SM-clock cycle: execute the fabric pipeline.
-    pub fn tick(&mut self) {
+    /// One SM-clock cycle: execute the fabric pipeline, surfacing any
+    /// protocol violation detected during it.
+    pub fn try_tick(&mut self) -> Result<(), SimError> {
         let now = self.now;
-        Fabric { stages: PIPELINE }.tick(self, now);
+        Fabric { stages: PIPELINE }.tick(self, now)?;
         self.now += 1;
+        // Stack interiors tick through the infallible `Component` trait;
+        // poll their parked errors.
+        for st in &mut self.stacks {
+            if let Some(e) = st.take_error() {
+                return Err(e);
+            }
+        }
+        Ok(())
+    }
+
+    /// One SM-clock cycle; panics on a protocol violation (driver loops
+    /// that want structured errors use [`System::try_tick`] or
+    /// [`System::run`]).
+    pub fn tick(&mut self) {
+        if let Err(e) = self.try_tick() {
+            panic!("protocol violation: {e}");
+        }
     }
 
     /// Push one occupancy sample of every hot queue into the time-series
@@ -188,51 +249,102 @@ impl System {
             && self.nsus.iter().all(|n| !n.busy())
     }
 
-    /// Like [`System::run`] but also returns per-packet-kind GPU-link byte
-    /// totals (diagnostics).
-    pub fn run_with_kind_stats(mut self, max_cycles: u64) -> (RunResult, [u64; PacketKind::COUNT]) {
-        let mut timed_out = true;
+    /// The shared main loop of [`System::run`] and
+    /// [`System::run_with_kind_stats`] (they used to duplicate it).
+    ///
+    /// Checks, on the same 256-cycle boundary the drain check always ran
+    /// on: recorded invariant violations (surfaced as `Err`), completion,
+    /// and — only while work is outstanding — the forward-progress
+    /// watchdog, which aborts the run early with a structured
+    /// [`StallReport`] instead of spinning silently to the cycle cap.
+    fn run_inner(&mut self, max_cycles: u64) -> Result<Outcome, SimError> {
+        let mut out = Outcome {
+            timed_out: true,
+            stall: None,
+        };
         while self.now < max_cycles {
-            self.tick();
-            if self.now.is_multiple_of(256) && self.is_done() {
-                timed_out = false;
-                break;
+            self.try_tick()?;
+            if self.now.is_multiple_of(256) {
+                if let Some(v) = self.invariants.first_violation() {
+                    return Err(SimError::InvariantViolation {
+                        cycle: self.now,
+                        detail: v.to_string(),
+                    });
+                }
+                if self.is_done() {
+                    out.timed_out = false;
+                    break;
+                }
+                let instrs: u64 = self.sms.iter().map(|s| s.stats.issued).sum::<u64>()
+                    + self.nsus.iter().map(|n| n.instrs).sum::<u64>();
+                if let Some(w) = &mut self.watchdog {
+                    w.note_instrs(self.now, instrs);
+                    if let Some(stalled_for) = w.stalled_for(self.now) {
+                        out.stall = Some(Box::new(self.build_stall_report(stalled_for)));
+                        break;
+                    }
+                }
             }
         }
-        if timed_out && self.is_done() {
-            timed_out = false;
+        if out.timed_out && out.stall.is_none() && self.is_done() {
+            out.timed_out = false;
         }
+        if !out.timed_out {
+            self.check_conservation()?;
+        }
+        Ok(out)
+    }
+
+    /// Drained-system conservation: protocol counters balance and every
+    /// NSU buffer credit has been returned.
+    fn check_conservation(&self) -> Result<(), SimError> {
+        self.invariants.check_drained(self.now)?;
+        let (cmd, read, write) = self.ctrl.mgr.total_in_use();
+        if (cmd, read, write) != (0, 0, 0) {
+            return Err(SimError::CreditLeak {
+                cycle: self.now,
+                cmd,
+                read,
+                write,
+            });
+        }
+        Ok(())
+    }
+
+    /// Like [`System::run`] but also returns per-packet-kind GPU-link byte
+    /// totals (diagnostics).
+    pub fn run_with_kind_stats(
+        mut self,
+        max_cycles: u64,
+    ) -> Result<(RunResult, [u64; PacketKind::COUNT]), SimError> {
+        let out = self.run_inner(max_cycles)?;
         let mut kinds = [0u64; PacketKind::COUNT];
         for l in self.up.iter().chain(self.down.iter()) {
             for (total, b) in kinds.iter_mut().zip(l.stats.kind_bytes.iter()) {
                 *total += b;
             }
         }
-        (self.collect(timed_out), kinds)
+        Ok((self.collect(out), kinds))
     }
 
     /// Run to completion (or the safety cap) and collect results.
-    pub fn run(mut self, max_cycles: u64) -> RunResult {
-        let mut timed_out = true;
-        while self.now < max_cycles {
-            self.tick();
-            if self.now.is_multiple_of(256) && self.is_done() {
-                timed_out = false;
-                break;
-            }
-        }
-        if timed_out && self.is_done() {
-            timed_out = false;
-        }
-        self.collect(timed_out)
+    ///
+    /// `Err` is a protocol violation; a timeout or watchdog stall is
+    /// `Ok` with `timed_out=true` (and `stall=Some(..)` when the watchdog
+    /// fired).
+    pub fn run(mut self, max_cycles: u64) -> Result<RunResult, SimError> {
+        let out = self.run_inner(max_cycles)?;
+        Ok(self.collect(out))
     }
 
-    fn collect(self, timed_out: bool) -> RunResult {
+    fn collect(self, out: Outcome) -> RunResult {
         let mut r = RunResult {
             workload: self.kernel.program.name.to_string(),
             config: format!("{:?}", self.cfg.offload),
             cycles: self.now,
-            timed_out,
+            timed_out: out.timed_out,
+            stall: out.stall,
+            faults: self.faults.as_ref().map(|f| f.stats),
             ..Default::default()
         };
         for sm in &self.sms {
@@ -289,6 +401,117 @@ impl System {
         }
         r
     }
+
+    /// Snapshot the whole machine at the moment the watchdog fired: every
+    /// non-empty queue, credit-pool balances, in-flight offload tokens with
+    /// lifecycle state, protocol counters, and a wait-for summary naming
+    /// what starved resources are blocked on.
+    fn build_stall_report(&self, stalled_for: Cycle) -> StallReport {
+        fn push(queues: &mut Vec<QueueDepth>, name: String, depth: usize) {
+            if depth > 0 {
+                queues.push(QueueDepth { name, depth });
+            }
+        }
+        let mut queues = Vec::new();
+        for (i, sm) in self.sms.iter().enumerate() {
+            push(&mut queues, format!("sm{i}.out"), sm.out.len());
+            let (pend, ready) = sm.ndp_buffer_depths();
+            push(&mut queues, format!("sm{i}.ndp_pending"), pend);
+            push(&mut queues, format!("sm{i}.ndp_ready"), ready);
+        }
+        for (i, s) in self.slices.iter().enumerate() {
+            push(&mut queues, format!("l2_{i}.to_mem"), s.to_mem.len());
+            push(&mut queues, format!("l2_{i}.to_sm"), s.to_sm.len());
+        }
+        for (i, l) in self.up.iter().enumerate() {
+            push(&mut queues, format!("up_link{i}"), l.in_transit());
+        }
+        for (i, l) in self.down.iter().enumerate() {
+            push(&mut queues, format!("down_link{i}"), l.in_transit());
+        }
+        for (i, st) in self.stacks.iter().enumerate() {
+            push(&mut queues, format!("hmc{i}.queued"), st.queued_requests());
+        }
+        push(&mut queues, "memnet".to_string(), self.net.queued_packets());
+        for (i, n) in self.nsus.iter().enumerate() {
+            let (cmd, rd, wr) = n.buffer_depths();
+            push(&mut queues, format!("nsu{i}.cmd_queue"), cmd);
+            push(&mut queues, format!("nsu{i}.read_data"), rd);
+            push(&mut queues, format!("nsu{i}.write_addr"), wr);
+            push(
+                &mut queues,
+                format!("nsu{i}.warp_slots"),
+                n.occupied_slots(),
+            );
+        }
+
+        let caps = [
+            ("cmd", self.cfg.nsu.cmd_entries),
+            ("read", self.cfg.nsu.read_data_entries),
+            ("write", self.cfg.nsu.write_addr_entries),
+        ];
+        let mut credits = Vec::new();
+        let mut wait_for = Vec::new();
+        for h in 0..self.stacks.len() {
+            let avail = self.ctrl.mgr.available(HmcId(h as u8));
+            for ((pool, cap), avail) in caps.iter().zip([avail.0, avail.1, avail.2]) {
+                let in_use = cap.saturating_sub(avail);
+                if in_use > 0 {
+                    credits.push(CreditBalance {
+                        pool: format!("hmc{h}.{pool}"),
+                        in_use,
+                        capacity: *cap,
+                    });
+                }
+                if avail == 0 && *cap > 0 {
+                    wait_for.push(format!(
+                        "hmc{h}: NSU {pool} credit pool exhausted (0 of {cap} available) — \
+                         senders starve on edge stack_to_nsu"
+                    ));
+                }
+            }
+        }
+        for sm in &self.sms {
+            wait_for.extend(sm.wait_summary(self.now));
+        }
+        if let Some(f) = &self.faults {
+            if f.cfg.withhold_credits {
+                wait_for.push(format!(
+                    "fault injector withheld {} credit returns (NDP_FAULT_WITHHOLD_CREDITS)",
+                    f.stats.credits_withheld
+                ));
+            }
+        }
+        if wait_for.is_empty() {
+            wait_for.push("no waiting component identified".to_string());
+        }
+
+        let mut tokens = self.invariants.inflight_tokens();
+        for n in &self.nsus {
+            tokens.extend(n.resident_tokens());
+        }
+
+        StallReport {
+            cycle: self.now,
+            stalled_for,
+            threshold: self.watchdog.as_ref().map_or(0, |w| w.threshold()),
+            edges: self
+                .watchdog
+                .as_ref()
+                .map_or_else(Vec::new, |w| w.edges().to_vec()),
+            queues,
+            credits,
+            tokens,
+            protocol: self.invariants.counters(),
+            wait_for,
+        }
+    }
+}
+
+/// What `run_inner` resolved: drained, hit the cap, or stalled.
+struct Outcome {
+    timed_out: bool,
+    stall: Option<Box<StallReport>>,
 }
 
 /// A kind of transmit port, replicated across lanes (one lane per SM,
@@ -316,6 +539,42 @@ pub enum Tx {
     DownLink,
     /// L2 slice responses → SMs.
     SliceToSm,
+}
+
+impl Tx {
+    /// Stable edge names, in [`Tx::index`] order — watchdog edge labels
+    /// and fault-stream identifiers.
+    pub const NAMES: [&'static str; 10] = [
+        "sm_out",
+        "slice_to_mem",
+        "up_link",
+        "stack_to_memnet",
+        "stack_to_nsu",
+        "stack_to_gpu",
+        "net_delivered",
+        "nsu_out",
+        "down_link",
+        "slice_to_sm",
+    ];
+
+    pub const fn index(self) -> usize {
+        match self {
+            Tx::SmOut => 0,
+            Tx::SliceToMem => 1,
+            Tx::UpLink => 2,
+            Tx::StackToMemnet => 3,
+            Tx::StackToNsu => 4,
+            Tx::StackToGpu => 5,
+            Tx::NetDelivered => 6,
+            Tx::NsuOut => 7,
+            Tx::DownLink => 8,
+            Tx::SliceToSm => 9,
+        }
+    }
+
+    pub const fn name(self) -> &'static str {
+        Self::NAMES[self.index()]
+    }
 }
 
 /// One concrete receiver in the routing table.
@@ -456,8 +715,13 @@ impl FabricCtx for System {
         }
     }
 
-    fn route(&self, tx: Tx, lane: usize, p: &Packet) -> Rx {
-        match tx {
+    fn route(&self, now: Cycle, tx: Tx, lane: usize, p: &Packet) -> Result<Rx, SimError> {
+        let unroutable = || SimError::Unroutable {
+            edge: tx.name(),
+            cycle: now,
+            packet: PacketSummary::of(p),
+        };
+        Ok(match tx {
             // On-die interconnect: reads/writes address a slice directly;
             // NDP-protocol packets go to the slice fronting the stack that
             // owns their destination. Anything else is a routing bug.
@@ -465,12 +729,16 @@ impl FabricCtx for System {
                 Node::L2(h) => Rx::Slice(h as usize),
                 other => match other.hmc() {
                     Some(h) => Rx::Slice(h.0 as usize),
-                    None => panic!("unroutable SM packet to {other:?}: {:?}", p.kind),
+                    None => return Err(unroutable()),
                 },
             },
             Tx::SliceToMem => Rx::UpLink(lane),
             Tx::UpLink => Rx::Stack(lane),
-            Tx::StackToMemnet => Rx::Net(lane),
+            // The memory network only carries HMC-resident destinations.
+            Tx::StackToMemnet => match p.dst.hmc() {
+                Some(_) => Rx::Net(lane),
+                None => return Err(unroutable()),
+            },
             Tx::StackToNsu => Rx::Nsu(lane),
             Tx::StackToGpu => Rx::DownLink(lane),
             Tx::NetDelivered => Rx::Stack(lane),
@@ -478,13 +746,13 @@ impl FabricCtx for System {
             Tx::DownLink => match p.dst {
                 Node::L2(_) => Rx::SliceFromMem(lane),
                 Node::Sm(s) => Rx::Sm(s as usize),
-                other => panic!("unroutable down-link packet to {other:?}"),
+                _ => return Err(unroutable()),
             },
             Tx::SliceToSm => match p.dst {
                 Node::Sm(i) => Rx::Sm(i as usize),
-                other => panic!("slice response to {other:?}"),
+                _ => return Err(unroutable()),
             },
-        }
+        })
     }
 
     fn can_accept(&self, rx: Rx, p: &Packet) -> bool {
@@ -516,7 +784,7 @@ impl FabricCtx for System {
         .expect("peeked head exists")
     }
 
-    fn accept(&mut self, now: Cycle, rx: Rx, p: Packet) {
+    fn accept(&mut self, now: Cycle, rx: Rx, p: Packet) -> Result<(), SimError> {
         match rx {
             Rx::Slice(h) => self.slices[h].from_sm(now, p),
             Rx::UpLink(h) => self.up[h].push(p).expect("checked can_accept"),
@@ -525,17 +793,25 @@ impl FabricCtx for System {
                 .net
                 .inject(HmcId(h as u8), p)
                 .expect("checked can_inject"),
-            Rx::Nsu(h) => self.nsus[h].deliver(p),
+            Rx::Nsu(h) => self.nsus[h].deliver(now, p)?,
             Rx::DownLink(h) => self.down[h].push(p).expect("checked can_accept"),
             Rx::SliceFromMem(h) => {
                 if matches!(p.kind, PacketKind::CacheInval { .. }) {
-                    // §4.1: an in-flight write address drained.
-                    self.ctrl.note_inval(HmcId(h as u8));
+                    // §4.1: an in-flight write address drained. An orphan
+                    // invalidation (no matching WTA) is an invariant
+                    // violation, not a silent saturating decrement.
+                    if !self.ctrl.note_inval(HmcId(h as u8)) {
+                        self.invariants.record_external(
+                            now,
+                            &format!("orphan CacheInval at hmc{h} (no in-flight WTA)"),
+                        );
+                    }
                 }
                 self.slices[h].from_mem(p)
             }
-            Rx::Sm(s) => self.sms[s].deliver(now, p, &mut self.ctrl),
+            Rx::Sm(s) => self.sms[s].deliver(now, p, &mut self.ctrl)?,
         }
+        Ok(())
     }
 
     fn tick_comp(&mut self, now: Cycle, comp: Comp) {
@@ -580,16 +856,42 @@ impl FabricCtx for System {
     fn side(&mut self, now: Cycle, side: SideChannel) {
         match side {
             SideChannel::Credits => {
+                let withhold = self.faults.as_ref().is_some_and(|f| f.cfg.withhold_credits);
                 for h in 0..self.nsus.len() {
                     let c = self.nsus[h].take_credits();
+                    if withhold {
+                        // Fault injection: the returns are consumed but
+                        // never credited back — the pools drain and the
+                        // machine wedges (watchdog coverage test).
+                        let n = (c.cmd + c.read + c.write) as u64;
+                        if n > 0 {
+                            if let Some(f) = &mut self.faults {
+                                f.stats.credits_withheld += n;
+                            }
+                        }
+                        continue;
+                    }
+                    // Over-release (a double credit return, e.g. from a
+                    // duplicated packet) clamps the pool and is reported as
+                    // an invariant violation instead of crashing the run.
+                    let mut ok = true;
                     for _ in 0..c.cmd {
-                        self.ctrl.mgr.credit_cmd(HmcId(h as u8));
+                        ok &= self.ctrl.mgr.credit_cmd(HmcId(h as u8));
                     }
                     if c.read > 0 {
-                        self.ctrl.mgr.credit_read(HmcId(h as u8), c.read as usize);
+                        ok &= self.ctrl.mgr.credit_read(HmcId(h as u8), c.read as usize);
                     }
                     if c.write > 0 {
-                        self.ctrl.mgr.credit_write(HmcId(h as u8), c.write as usize);
+                        ok &= self.ctrl.mgr.credit_write(HmcId(h as u8), c.write as usize);
+                    }
+                    if !ok {
+                        self.invariants.record_external(
+                            now,
+                            &format!(
+                                "credit over-release at hmc{h}: NSU returned more \
+                                 credits than the GPU-side pools had outstanding"
+                            ),
+                        );
                     }
                 }
             }
@@ -605,6 +907,26 @@ impl FabricCtx for System {
     fn observe(&mut self, now: Cycle, site: TraceSite, p: &Packet) {
         self.tracer.record(now, site, p);
         self.obs.on_packet(now, site, p);
+        self.invariants.on_packet(now, site, p);
+    }
+
+    fn fault(&self, _now: Cycle, tx: Tx, p: &Packet) -> FaultAction {
+        match &self.faults {
+            Some(f) => f.decide(tx.index() as u64, p),
+            None => FaultAction::None,
+        }
+    }
+
+    fn note_fault(&mut self, _now: Cycle, fault: InjectedFault) {
+        if let Some(f) = &mut self.faults {
+            f.note(fault);
+        }
+    }
+
+    fn moved(&mut self, now: Cycle, tx: Tx) {
+        if let Some(w) = &mut self.watchdog {
+            w.note_move(now, tx.index());
+        }
     }
 }
 
@@ -623,7 +945,9 @@ mod tests {
             warps: 64,
             iters: 4,
         });
-        System::new(c, &p).run(2_000_000)
+        System::new(c, &p)
+            .run(2_000_000)
+            .expect("no protocol violation")
     }
 
     #[test]

@@ -35,19 +35,25 @@ impl BufferManager {
         self.per_hmc[hmc.0 as usize].try_reserve_block(n_loads, n_stores)
     }
 
-    /// A command buffer entry drained (warp spawned on the NSU).
-    pub fn credit_cmd(&mut self, hmc: HmcId) {
-        self.per_hmc[hmc.0 as usize].cmd.release(1);
+    /// A command buffer entry drained (warp spawned on the NSU). `false` on
+    /// over-release — a double credit return the system layer reports as an
+    /// invariant violation.
+    #[must_use]
+    pub fn credit_cmd(&mut self, hmc: HmcId) -> bool {
+        self.per_hmc[hmc.0 as usize].cmd.try_release(1)
     }
 
-    /// Read-data entries consumed by an NSU load.
-    pub fn credit_read(&mut self, hmc: HmcId, n: usize) {
-        self.per_hmc[hmc.0 as usize].read_data.release(n);
+    /// Read-data entries consumed by an NSU load; `false` on over-release.
+    #[must_use]
+    pub fn credit_read(&mut self, hmc: HmcId, n: usize) -> bool {
+        self.per_hmc[hmc.0 as usize].read_data.try_release(n)
     }
 
-    /// Write-address entries consumed by an NSU store.
-    pub fn credit_write(&mut self, hmc: HmcId, n: usize) {
-        self.per_hmc[hmc.0 as usize].write_addr.release(n);
+    /// Write-address entries consumed by an NSU store; `false` on
+    /// over-release.
+    #[must_use]
+    pub fn credit_write(&mut self, hmc: HmcId, n: usize) -> bool {
+        self.per_hmc[hmc.0 as usize].write_addr.try_release(n)
     }
 
     pub fn available(&self, hmc: HmcId) -> (usize, usize, usize) {
@@ -174,10 +180,15 @@ mod tests {
         let mut m = BufferManager::new(&cfg);
         assert!(m.try_reserve(HmcId(0), 2, 1));
         assert_eq!(m.available(HmcId(0)), (9, 254, 255));
-        m.credit_cmd(HmcId(0));
-        m.credit_read(HmcId(0), 2);
-        m.credit_write(HmcId(0), 1);
+        assert!(m.credit_cmd(HmcId(0)));
+        assert!(m.credit_read(HmcId(0), 2));
+        assert!(m.credit_write(HmcId(0), 1));
         assert_eq!(m.available(HmcId(0)), (10, 256, 256));
+        assert!(
+            !m.credit_cmd(HmcId(0)),
+            "over-release reported, not panicked"
+        );
+        assert_eq!(m.available(HmcId(0)), (10, 256, 256), "clamped at capacity");
     }
 
     #[test]

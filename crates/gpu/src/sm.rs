@@ -15,6 +15,7 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
 use ndp_common::config::SystemConfig;
+use ndp_common::error::{PacketSummary, SimError};
 use ndp_common::ids::{Cycle, HmcId, Node, OffloadId, OffloadToken};
 use ndp_common::memmap::MemMap;
 use ndp_common::packet::{LineAccess, Packet, PacketKind};
@@ -949,7 +950,7 @@ impl Sm {
     }
 
     /// Deliver an inbound packet (L1 fill or offload ACK).
-    pub fn deliver(&mut self, now: Cycle, p: Packet, env: &mut dyn NdpEnv) {
+    pub fn deliver(&mut self, now: Cycle, p: Packet, env: &mut dyn NdpEnv) -> Result<(), SimError> {
         match p.kind {
             PacketKind::ReadResp { addr, tag, .. } => {
                 let track_id = tag & 0xff_ffff_ffff;
@@ -973,7 +974,7 @@ impl Sm {
             }
             PacketKind::OffloadAck { token, .. } => {
                 let Some(inf) = self.inflight.remove(&token) else {
-                    return;
+                    return Ok(());
                 };
                 let b = self.kernel.block(inf.block);
                 env.note_block_done(inf.block, (b.end - b.start) as u32);
@@ -988,8 +989,40 @@ impl Sm {
                     slot.wake_at = 0;
                 }
             }
-            other => panic!("SM cannot consume {other:?}"),
+            _ => {
+                return Err(SimError::BadDelivery {
+                    component: format!("sm{}", self.cfg.id),
+                    cycle: now,
+                    packet: PacketSummary::of(&p),
+                    detail: "SM cannot consume this packet kind".to_string(),
+                });
+            }
         }
+        Ok(())
+    }
+
+    /// Human-readable wait states of resident warps, for stall diagnosis.
+    /// One line per non-ready warp: what it waits on and for how long.
+    pub fn wait_summary(&self, now: Cycle) -> Vec<String> {
+        let mut lines = Vec::new();
+        for (i, slot) in self.slots.iter().enumerate() {
+            let Some(slot) = slot else { continue };
+            match slot.state {
+                WState::Ready => {}
+                WState::Barrier => lines.push(format!(
+                    "sm{} slot{i}: at barrier (cta {})",
+                    self.cfg.id, slot.cta
+                )),
+                WState::WaitAck => {
+                    let token = slot.ofl.as_ref().map(|o| o.token.0);
+                    lines.push(format!(
+                        "sm{} slot{i}: waiting for OffloadAck (token {:?}, since wake_at {}, now {now})",
+                        self.cfg.id, token, slot.wake_at
+                    ));
+                }
+            }
+        }
+        lines
     }
 
     /// Occupied warp slots (for utilization reporting).
@@ -1179,7 +1212,8 @@ mod tests {
                                 },
                             ),
                             &mut env,
-                        );
+                        )
+                        .unwrap();
                         fill_sent = true;
                     }
                 }
@@ -1233,7 +1267,8 @@ mod tests {
                 },
             ),
             &mut env,
-        );
+        )
+        .unwrap();
         for now in 101..160 {
             sm.tick(now, &mut env);
         }
@@ -1374,7 +1409,8 @@ mod tests {
                         },
                     ),
                     &mut env,
-                );
+                )
+                .unwrap();
             }
         }
         let rdf_count = sm

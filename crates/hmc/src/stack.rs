@@ -3,6 +3,7 @@
 use std::collections::VecDeque;
 
 use ndp_common::config::SystemConfig;
+use ndp_common::error::{PacketSummary, SimError};
 use ndp_common::ids::{Cycle, HmcId, Node};
 use ndp_common::memmap::MemMap;
 use ndp_common::packet::{Packet, PacketKind};
@@ -33,6 +34,10 @@ pub struct HmcStack {
     /// Bytes moved across the logic-layer crossbar (Fig. 10 "Intra-HMC NoC"
     /// energy domain).
     pub intra_bytes: u64,
+    /// First protocol violation observed inside the stack. `Component::tick`
+    /// is infallible, so violations are parked here and polled by the system
+    /// loop via [`HmcStack::take_error`].
+    pending_err: Option<SimError>,
 }
 
 impl HmcStack {
@@ -57,6 +62,23 @@ impl HmcStack {
             acc_units: 0,
             dram_now: 0,
             intra_bytes: 0,
+            pending_err: None,
+        }
+    }
+
+    /// Take the first protocol violation seen by this stack, if any.
+    pub fn take_error(&mut self) -> Option<SimError> {
+        self.pending_err.take()
+    }
+
+    fn record_err(&mut self, now: Cycle, p: &Packet, detail: &str) {
+        if self.pending_err.is_none() {
+            self.pending_err = Some(SimError::BadDelivery {
+                component: format!("hmc{}", self.id.0),
+                cycle: now,
+                packet: PacketSummary::of(p),
+                detail: detail.to_string(),
+            });
         }
     }
 
@@ -78,16 +100,16 @@ impl HmcStack {
     /// DRAM bytes a packet's vault access moves: baseline fills whole lines;
     /// RDF reads only the bursts covering the accessed words (§4.4); writes
     /// touch the written words rounded to bursts.
-    fn access_bytes(&self, p: &Packet) -> u32 {
+    fn access_bytes(&self, p: &Packet) -> Option<u32> {
         let round = |b: u32| b.div_ceil(self.burst_bytes).max(1) * self.burst_bytes;
         match &p.kind {
-            PacketKind::ReadReq { bytes, .. } => round(*bytes),
+            PacketKind::ReadReq { bytes, .. } => Some(round(*bytes)),
             PacketKind::Rdf { access, .. } => {
-                round((access.active_words() * 4).min(self.line_bytes))
+                Some(round((access.active_words() * 4).min(self.line_bytes)))
             }
-            PacketKind::WriteReq { words, .. } => round(words * 4),
-            PacketKind::NsuWrite { words, .. } => round(words * 4),
-            other => panic!("not a vault access: {other:?}"),
+            PacketKind::WriteReq { words, .. } => Some(round(words * 4)),
+            PacketKind::NsuWrite { words, .. } => Some(round(words * 4)),
+            _ => None,
         }
     }
 
@@ -98,13 +120,13 @@ impl HmcStack {
         )
     }
 
-    fn vault_addr(p: &Packet) -> u64 {
+    fn vault_addr(p: &Packet) -> Option<u64> {
         match &p.kind {
             PacketKind::ReadReq { addr, .. }
             | PacketKind::WriteReq { addr, .. }
-            | PacketKind::NsuWrite { addr, .. } => *addr,
-            PacketKind::Rdf { access, .. } => access.line,
-            other => panic!("not a vault access: {other:?}"),
+            | PacketKind::NsuWrite { addr, .. } => Some(*addr),
+            PacketKind::Rdf { access, .. } => Some(access.line),
+            _ => None,
         }
     }
 
@@ -116,8 +138,14 @@ impl HmcStack {
                 if !self.vaults[v].can_accept() {
                     break;
                 }
-                let bytes = self.access_bytes(front);
-                let addr = Self::vault_addr(front);
+                let (Some(bytes), Some(addr)) = (self.access_bytes(front), Self::vault_addr(front))
+                else {
+                    // A non-memory packet reached a vault queue: record the
+                    // violation and discard so the lane is not wedged by it.
+                    let p = self.vault_pending[v].pop_front().expect("front exists");
+                    self.record_err(now, &p, "not a vault access");
+                    continue;
+                };
                 let coord = self.memmap.decode(addr);
                 debug_assert_eq!(coord.hmc, self.id, "page map routed to wrong stack");
                 debug_assert_eq!(coord.vault.0 as usize, v, "vault mis-route");
@@ -195,7 +223,9 @@ impl HmcStack {
                 );
                 self.route_out(inval);
             }
-            other => panic!("vault completed non-memory packet {other:?}"),
+            _ => {
+                self.record_err(now, &p, "vault completed non-memory packet");
+            }
         }
     }
 
@@ -255,21 +285,15 @@ mod tests {
     }
 
     /// Find an address mapping to stack `h`, vault `v` under the config's
-    /// page map.
+    /// page map (typed error instead of panic on an exhausted scan).
     fn addr_for(cfg: &SystemConfig, h: u8, v: u8) -> u64 {
-        let mm = MemMap::new(cfg);
-        for page in 0..100_000u64 {
-            let base = page * cfg.page_bytes;
-            if mm.hmc_of(base).0 == h {
-                for line in 0..(cfg.page_bytes / 128) {
-                    let a = base + line * 128;
-                    if mm.vault_of(a).0 == v {
-                        return a;
-                    }
-                }
-            }
-        }
-        panic!("no address found for hmc {h} vault {v}");
+        MemMap::new(cfg)
+            .find_addr(
+                ndp_common::ids::HmcId(h),
+                ndp_common::ids::VaultId(v),
+                100_000,
+            )
+            .expect("address exists for every (hmc, vault) pair")
     }
 
     fn run(stack: &mut HmcStack, cycles: Cycle) {

@@ -4,10 +4,12 @@ use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 
 use ndp_common::config::SystemConfig;
+use ndp_common::error::{PacketSummary, SimError};
 use ndp_common::ids::{Cycle, HmcId, Node, OffloadId, OffloadToken};
 use ndp_common::memmap::MemMap;
 use ndp_common::packet::{LineAccess, Packet, PacketKind};
 use ndp_common::port::{Component, OutPort};
+use ndp_common::watchdog::TokenInFlight;
 use ndp_isa::offload::{NsuInstr, OffloadBlock};
 
 pub use ndp_common::port::CreditEvents;
@@ -102,8 +104,22 @@ impl Nsu {
         }
     }
 
-    /// Deliver a packet from the stack's logic layer.
-    pub fn deliver(&mut self, p: Packet) {
+    /// Structured delivery error with this NSU's identity attached.
+    fn bad_delivery(&self, now: Cycle, summary: PacketSummary, detail: String) -> SimError {
+        SimError::BadDelivery {
+            component: format!("nsu{}", self.id.0),
+            cycle: now,
+            packet: summary,
+            detail,
+        }
+    }
+
+    /// Deliver a packet from the stack's logic layer. Protocol violations
+    /// (buffer overflow past the credit bound, an ACK for an unknown warp,
+    /// an unconsumable kind) come back as structured errors instead of
+    /// panicking mid-simulation.
+    pub fn deliver(&mut self, now: Cycle, p: Packet) -> Result<(), SimError> {
+        let summary = PacketSummary::of(&p);
         match p.kind {
             PacketKind::OffloadCmd {
                 token,
@@ -113,14 +129,20 @@ impl Nsu {
                 mask,
                 ..
             } => {
-                assert!(
-                    self.cmd_q.len() < self.cmd_capacity,
-                    "command buffer overflow — credit protocol violated"
-                );
-                let block = *self
-                    .pc_to_block
-                    .get(&nsu_pc)
-                    .expect("unknown NSU code address");
+                if self.cmd_q.len() >= self.cmd_capacity {
+                    return Err(self.bad_delivery(
+                        now,
+                        summary,
+                        "command buffer overflow — credit protocol violated".into(),
+                    ));
+                }
+                let Some(&block) = self.pc_to_block.get(&nsu_pc) else {
+                    return Err(self.bad_delivery(
+                        now,
+                        summary,
+                        format!("unknown NSU code address {nsu_pc:#x}"),
+                    ));
+                };
                 self.cmd_q.push_back(CmdInfo {
                     token,
                     id,
@@ -136,10 +158,13 @@ impl Nsu {
                     .entry((token, seq))
                     .or_insert(ReadEntry { arrived_mask: 0 });
                 entry.arrived_mask |= access.lane_mask();
-                assert!(
-                    self.read_buf.len() <= self.read_capacity,
-                    "read data buffer overflow — credit protocol violated"
-                );
+                if self.read_buf.len() > self.read_capacity {
+                    return Err(self.bad_delivery(
+                        now,
+                        summary,
+                        "read data buffer overflow — credit protocol violated".into(),
+                    ));
+                }
             }
             PacketKind::Rdf {
                 token, seq, access, ..
@@ -165,23 +190,35 @@ impl Nsu {
                     .entry((token, seq))
                     .or_insert((n_accesses, vec![]));
                 e.1.push(access);
-                assert!(
-                    self.write_buf.len() <= self.write_capacity,
-                    "write address buffer overflow — credit protocol violated"
-                );
+                if self.write_buf.len() > self.write_capacity {
+                    return Err(self.bad_delivery(
+                        now,
+                        summary,
+                        "write address buffer overflow — credit protocol violated".into(),
+                    ));
+                }
             }
             PacketKind::NsuWriteAck { token } => {
                 for w in self.slots.iter_mut().flatten() {
                     if w.token == token {
-                        debug_assert!(w.writes_outstanding > 0);
+                        if w.writes_outstanding == 0 {
+                            return Err(self.bad_delivery(
+                                now,
+                                summary,
+                                "write-ack underflow: no writes outstanding".into(),
+                            ));
+                        }
                         w.writes_outstanding -= 1;
-                        return;
+                        return Ok(());
                     }
                 }
-                panic!("write ack for unknown warp {token:?}");
+                return Err(self.bad_delivery(now, summary, "write ack for unknown warp".into()));
             }
-            other => panic!("NSU cannot consume {other:?}"),
+            _ => {
+                return Err(self.bad_delivery(now, summary, "NSU cannot consume this kind".into()))
+            }
         }
+        Ok(())
     }
 
     /// Advance one NSU cycle (`now` is the SM-cycle timestamp used for
@@ -372,6 +409,21 @@ impl Nsu {
     pub fn take_credits(&mut self) -> CreditEvents {
         std::mem::take(&mut self.credits)
     }
+
+    /// Tokens resident in warp slots, with execution state (stall reports).
+    pub fn resident_tokens(&self) -> Vec<TokenInFlight> {
+        self.slots
+            .iter()
+            .flatten()
+            .map(|w| TokenInFlight {
+                token: w.token.0,
+                state: format!(
+                    "nsu{} slot: pc {}, {} writes outstanding",
+                    self.id.0, w.pc, w.writes_outstanding
+                ),
+            })
+            .collect()
+    }
 }
 
 impl Component for Nsu {
@@ -496,9 +548,9 @@ mod tests {
     #[test]
     fn full_block_lifecycle() {
         let mut n = nsu();
-        n.deliver(cmd(1));
-        n.deliver(rdf_resp(1, 0, full_access(0x1000)));
-        n.deliver(wta(1, 1, full_access(0x2000)));
+        n.deliver(0, cmd(1)).unwrap();
+        n.deliver(0, rdf_resp(1, 0, full_access(0x1000))).unwrap();
+        n.deliver(0, wta(1, 1, full_access(0x2000))).unwrap();
         let mut acked = false;
         for now in 0..200 {
             n.tick(now);
@@ -508,12 +560,16 @@ mod tests {
                         assert_eq!(token, OffloadToken(1));
                         assert_eq!(words, 32);
                         // Ack the write.
-                        n.deliver(Packet::new(
-                            p.dst,
-                            Node::Nsu(0),
-                            now,
-                            PacketKind::NsuWriteAck { token },
-                        ));
+                        n.deliver(
+                            0,
+                            Packet::new(
+                                p.dst,
+                                Node::Nsu(0),
+                                now,
+                                PacketKind::NsuWriteAck { token },
+                            ),
+                        )
+                        .unwrap();
                     }
                     PacketKind::OffloadAck { token, .. } => {
                         assert_eq!(token, OffloadToken(1));
@@ -533,7 +589,7 @@ mod tests {
     #[test]
     fn load_stalls_until_all_responses_merge() {
         let mut n = nsu();
-        n.deliver(cmd(2));
+        n.deliver(0, cmd(2)).unwrap();
         // Two partial responses covering half the warp each.
         let mut a1 = full_access(0x1000);
         a1.lanes.truncate(16);
@@ -541,15 +597,15 @@ mod tests {
             n.tick(now);
         }
         assert!(n.out.is_empty(), "no progress before data");
-        n.deliver(rdf_resp(2, 0, a1));
+        n.deliver(0, rdf_resp(2, 0, a1)).unwrap();
         for now in 20..40 {
             n.tick(now);
         }
         assert!(n.out.is_empty(), "half the lanes still missing");
         let mut a2 = full_access(0x1000);
         a2.lanes.drain(0..16);
-        n.deliver(rdf_resp(2, 0, a2));
-        n.deliver(wta(2, 1, full_access(0x2000)));
+        n.deliver(0, rdf_resp(2, 0, a2)).unwrap();
+        n.deliver(0, wta(2, 1, full_access(0x2000))).unwrap();
         let mut wrote = false;
         for now in 40..200 {
             n.tick(now);
@@ -565,9 +621,9 @@ mod tests {
     #[test]
     fn end_waits_for_write_acks() {
         let mut n = nsu();
-        n.deliver(cmd(3));
-        n.deliver(rdf_resp(3, 0, full_access(0x1000)));
-        n.deliver(wta(3, 1, full_access(0x2000)));
+        n.deliver(0, cmd(3)).unwrap();
+        n.deliver(0, rdf_resp(3, 0, full_access(0x1000))).unwrap();
+        n.deliver(0, wta(3, 1, full_access(0x2000))).unwrap();
         let mut write_pkt = None;
         for now in 0..100 {
             n.tick(now);
@@ -583,12 +639,11 @@ mod tests {
         }
         assert!(n.out.is_empty(), "OFLD.END must wait for write acks");
         if let PacketKind::NsuWrite { token, .. } = wp.kind {
-            n.deliver(Packet::new(
-                wp.dst,
-                Node::Nsu(0),
-                200,
-                PacketKind::NsuWriteAck { token },
-            ));
+            n.deliver(
+                0,
+                Packet::new(wp.dst, Node::Nsu(0), 200, PacketKind::NsuWriteAck { token }),
+            )
+            .unwrap();
         }
         let mut acked = false;
         for now in 200..260 {
@@ -604,15 +659,15 @@ mod tests {
     #[test]
     fn divergent_store_fans_out_writes() {
         let mut n = nsu();
-        n.deliver(cmd(4));
-        n.deliver(rdf_resp(4, 0, full_access(0x1000)));
+        n.deliver(0, cmd(4)).unwrap();
+        n.deliver(0, rdf_resp(4, 0, full_access(0x1000))).unwrap();
         // Two WTA line accesses for one store instruction (divergent store).
         let mut h1 = full_access(0x2000);
         h1.lanes.truncate(16);
         let mut h2 = full_access(0x8000);
         h2.lanes.drain(0..16);
-        n.deliver(wta2(4, 1, h1, 2));
-        n.deliver(wta2(4, 1, h2, 2));
+        n.deliver(0, wta2(4, 1, h1, 2)).unwrap();
+        n.deliver(0, wta2(4, 1, h2, 2)).unwrap();
         let mut writes = 0;
         for now in 0..100 {
             n.tick(now);
@@ -633,8 +688,8 @@ mod tests {
     #[test]
     fn occupancy_and_icache_stats() {
         let mut n = nsu();
-        n.deliver(cmd(5));
-        n.deliver(rdf_resp(5, 0, full_access(0x1000)));
+        n.deliver(0, cmd(5)).unwrap();
+        n.deliver(0, rdf_resp(5, 0, full_access(0x1000))).unwrap();
         for now in 0..10 {
             n.tick(now);
         }
@@ -648,7 +703,7 @@ mod tests {
     fn many_commands_queue_within_capacity() {
         let mut n = nsu();
         for t in 0..10 {
-            n.deliver(cmd(t));
+            n.deliver(0, cmd(t)).unwrap();
         }
         // 10 commands (capacity) is fine; all eventually spawn.
         for now in 0..50 {

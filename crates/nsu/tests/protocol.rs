@@ -110,7 +110,7 @@ proptest! {
             wta(7),
         ];
         for &i in &order {
-            nsu.deliver(packets[i].clone());
+            nsu.deliver(0, packets[i].clone()).unwrap();
         }
         let mut writes = 0;
         let mut acks = 0;
@@ -120,12 +120,11 @@ proptest! {
                 match p.kind {
                     PacketKind::NsuWrite { token, .. } => {
                         writes += 1;
-                        nsu.deliver(Packet::new(
-                            p.dst,
-                            Node::Nsu(0),
+                        nsu.deliver(
                             now,
-                            PacketKind::NsuWriteAck { token },
-                        ));
+                            Packet::new(p.dst, Node::Nsu(0), now, PacketKind::NsuWriteAck { token }),
+                        )
+                        .unwrap();
                     }
                     PacketKind::OffloadAck { .. } => acks += 1,
                     ref other => prop_assert!(false, "unexpected {other:?}"),

@@ -261,13 +261,24 @@ impl Kb {
         self.imad(Operand::Reg(m), Operand::Imm(4096), Operand::Imm(base))
     }
 
-    pub fn finish(self) -> Program {
+    /// Validate and assemble the program; an invalid kernel comes back as
+    /// a typed [`SimError::InvalidKernel`] instead of a panic.
+    pub fn try_finish(self) -> Result<Program, ndp_common::error::SimError> {
         let mut p = Program::new(self.name, self.warps);
         p.items = self.items;
         p.arrays = self.arrays;
-        p.validate()
-            .unwrap_or_else(|e| panic!("{} kernel invalid: {e:?}", p.name));
-        p
+        if let Err(e) = p.validate() {
+            return Err(ndp_common::error::SimError::InvalidKernel {
+                name: p.name.to_string(),
+                detail: format!("{e:?}"),
+            });
+        }
+        Ok(p)
+    }
+
+    pub fn finish(self) -> Program {
+        self.try_finish()
+            .unwrap_or_else(|e| panic!("kernel invalid: {e}"))
     }
 }
 

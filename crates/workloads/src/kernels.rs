@@ -5,6 +5,7 @@
 //! instruction counts) are asserted against Table 1 by the tests at the
 //! bottom of this file.
 
+use ndp_common::error::SimError;
 use ndp_isa::instr::{AluOp, Operand};
 use ndp_isa::program::Program;
 
@@ -93,7 +94,9 @@ impl Workload {
         }
     }
 
-    pub fn build(&self, scale: &Scale) -> Program {
+    /// Build the kernel, surfacing ISA-validation failures as a typed
+    /// [`SimError::InvalidKernel`].
+    pub fn try_build(&self, scale: &Scale) -> Result<Program, SimError> {
         match self {
             Workload::Bprop => bprop(scale),
             Workload::Bfs => bfs(scale),
@@ -106,6 +109,10 @@ impl Workload {
             Workload::Stcl => stcl(scale),
             Workload::Vadd => vadd(scale),
         }
+    }
+
+    pub fn build(&self, scale: &Scale) -> Program {
+        self.try_build(scale).unwrap_or_else(|e| panic!("{e}"))
     }
 }
 
@@ -124,7 +131,7 @@ pub fn all_workloads(scale: &Scale) -> Vec<(Workload, Program)> {
 
 /// VADD — `C[i] = A[i] + B[i]`, 50M elements in the paper; a grid-stride
 /// streaming loop here. One offload block: LD, LD, FADD, ST (Table 1: 4).
-fn vadd(s: &Scale) -> Program {
+fn vadd(s: &Scale) -> Result<Program, SimError> {
     let mut k = Kb::new("VADD", s.warps);
     let n = s.threads() * s.iters as u64;
     let a = k.array("A", n * 4, 4);
@@ -140,7 +147,7 @@ fn vadd(s: &Scale) -> Program {
         let ca = k.addr_stream(c, stride);
         k.st(cv, ca);
     });
-    k.finish()
+    k.try_finish()
 }
 
 /// KMN — k-means distance phase: per feature, stream the point values,
@@ -152,7 +159,7 @@ fn vadd(s: &Scale) -> Program {
 /// per 3 instructions over the longest streams of the suite, this is the
 /// workload where NDP pays off most (§7: up to +66.8%).
 /// One offload block: LD, FSUB, ST (Table 1: 3).
-fn kmn(s: &Scale) -> Program {
+fn kmn(s: &Scale) -> Result<Program, SimError> {
     let mut k = Kb::new("KMN", s.warps);
     let feats = (s.iters * 2).max(4);
     let n = s.threads() * feats as u64;
@@ -181,13 +188,13 @@ fn kmn(s: &Scale) -> Program {
     // Final membership write.
     let oa = k.imad(Tid, Imm(4), Imm(d));
     k.st(best, oa);
-    k.finish()
+    k.try_finish()
 }
 
 /// MiniFE — the vector kernels of the CG solve (waxpby-style streaming),
 /// followed by a scratchpad dot-product reduction that stays on the GPU.
 /// One offload block: LD, FMUL, ST (Table 1: 3).
-fn minife(s: &Scale) -> Program {
+fn minife(s: &Scale) -> Result<Program, SimError> {
     let mut k = Kb::new("MiniFE", s.warps);
     let n = s.threads() * s.iters as u64;
     let x = k.array("x", n * 4, 4);
@@ -208,13 +215,13 @@ fn minife(s: &Scale) -> Program {
     let r = k.ld_shared(sa);
     let acc = k.falu(AluOp::FAdd, R(r), R(z));
     k.st_shared(acc, sa);
-    k.finish()
+    k.try_finish()
 }
 
 /// SP — scalar product of 512 vector pairs: streaming loads and a multiply
 /// feed a scratchpad tree reduction on the GPU.
 /// One offload block: LD, LD, FMUL (Table 1: 3; live-out = product).
-fn sp(s: &Scale) -> Program {
+fn sp(s: &Scale) -> Result<Program, SimError> {
     let mut k = Kb::new("SP", s.warps);
     let n = s.threads() * s.iters as u64;
     let a = k.array("a", n * 4, 4);
@@ -236,14 +243,14 @@ fn sp(s: &Scale) -> Program {
     let other = k.ld_shared(sa);
     k.reduce(AluOp::FAdd, acc, R(other));
     k.st_shared(acc, sa);
-    k.finish()
+    k.try_finish()
 }
 
 /// BICG — the two mat-vec products of the BiCG kernel: `q += A·p` and
 /// `s += Aᵀ·r`, both as streaming partial-product kernels. Two offload
 /// blocks of LD, LD, FMUL, ST (Table 1: 4, 4). The `p`/`r` operands are
 /// broadcast loads with strong cache locality.
-fn bicg(s: &Scale) -> Program {
+fn bicg(s: &Scale) -> Result<Program, SimError> {
     let mut k = Kb::new("BICG", s.warps);
     let n = s.threads() * s.iters as u64;
     let a = k.array("A", n * 4, 4);
@@ -273,14 +280,14 @@ fn bicg(s: &Scale) -> Program {
         let sa = k.addr_stream(sv, stride);
         k.st(t, sa);
     });
-    k.finish()
+    k.try_finish()
 }
 
 /// FWT — fast Walsh transform: a radix-4 stage loop (block of 16: 4 LD,
 /// 8 butterflies, 4 ST) with barriers between stages, then a radix-2
 /// combine pass (block of 4: LD, LD, FADD, ST). Butterfly addressing uses
 /// shift/mask arithmetic and produces partially divergent accesses.
-fn fwt(s: &Scale) -> Program {
+fn fwt(s: &Scale) -> Result<Program, SimError> {
     let mut k = Kb::new("FWT", s.warps);
     let n = s.threads() * 4 * s.iters.max(2) as u64;
     let data = k.array("data", n * 4, 4);
@@ -327,14 +334,14 @@ fn fwt(s: &Scale) -> Program {
         let oa = k.addr_stream(out, stride);
         k.st(sum, oa);
     });
-    k.finish()
+    k.try_finish()
 }
 
 /// STN — 3-D 7-point stencil over a 512×512×64-style grid (scaled): the z
 /// loop re-touches the previous/current planes, giving the moderate L2 read
 /// locality (~45% in the paper) that makes offloading counterproductive.
 /// One offload block: 7 LD, 7 FP ops, 1 ST (Table 1: 15).
-fn stn(s: &Scale) -> Program {
+fn stn(s: &Scale) -> Result<Program, SimError> {
     let mut k = Kb::new("STN", s.warps);
     // One plane holds exactly the launched threads; z iterates planes.
     let plane = s.threads();
@@ -370,7 +377,7 @@ fn stn(s: &Scale) -> Program {
         let oa = k.imad(R(idx), Imm(4), Imm(out));
         k.st(t6, oa);
     });
-    k.finish()
+    k.try_finish()
 }
 
 /// BFS — frontier expansion with data-dependent neighbor gathers. The
@@ -379,7 +386,7 @@ fn stn(s: &Scale) -> Program {
 /// divergent loads that the §4.4 rule offloads as single-instruction
 /// blocks (Table 1: 1, 1). A 16-instruction node-update block follows
 /// (Table 1: 16).
-fn bfs(s: &Scale) -> Program {
+fn bfs(s: &Scale) -> Result<Program, SimError> {
     let mut k = Kb::new("BFS", s.warps);
     // The distance array sits well past the 2 MB L2 (the gathers must miss
     // for the divergence-filtering benefit to exist — Rodinia's 1M-node
@@ -445,14 +452,14 @@ fn bfs(s: &Scale) -> Program {
     k.st(m4, c1a);
     k.st(m5, c2a);
     k.st(m4, c3a);
-    k.finish()
+    k.try_finish()
 }
 
 /// STCL — streamcluster gain evaluation: a streaming weight pass (block of
 /// 3), a 3-coordinate distance pass (block of 9: 3 LD, 4 FP, 2 ST), and two
 /// center-coordinate gathers through the assignment table — data-dependent
 /// loads offloaded by the §4.4 rule (blocks of 1, 1).
-fn stcl(s: &Scale) -> Program {
+fn stcl(s: &Scale) -> Result<Program, SimError> {
     let mut k = Kb::new("STCL", s.warps);
     let n = s.threads() * s.iters as u64;
     let centers = 256u64;
@@ -518,7 +525,7 @@ fn stcl(s: &Scale) -> Program {
     let r2 = k.falu(AluOp::FMul, R(cyv), f(2.0));
     let oa = k.imad(Tid, Imm(4), Imm(acc));
     k.st(r2, oa);
-    k.finish()
+    k.try_finish()
 }
 
 /// BPROP — two MLP layer passes. Every block instance touches the 68-byte
@@ -528,7 +535,7 @@ fn stcl(s: &Scale) -> Program {
 /// becomes the bottleneck — the workload the dynamic ratio must drive
 /// toward zero. Blocks: 29 (12 LD + 14 FP + 3 ST) and 23 (9 LD + 11 FP +
 /// 3 ST).
-fn bprop(s: &Scale) -> Program {
+fn bprop(s: &Scale) -> Result<Program, SimError> {
     let mut k = Kb::new("BPROP", s.warps);
     let n = s.threads() * s.iters as u64;
     let input = k.array("input", n * 4 * 4, 4);
@@ -639,7 +646,7 @@ fn bprop(s: &Scale) -> Program {
     let fin = k.falu(AluOp::FAdd, R(wpre0), R(wpre1));
     let fa = k.imad(Tid, Imm(4), Imm(grad));
     k.st(fin, fa);
-    k.finish()
+    k.try_finish()
 }
 
 #[cfg(test)]

@@ -33,9 +33,9 @@ fn main() {
 
     let mut cfg = SystemConfig::baseline();
     cfg.gpu.num_sms = 16;
-    let base = System::new(cfg.clone(), &program).run(40_000_000);
+    let base = System::new(cfg.clone(), &program).run(40_000_000).unwrap();
     cfg.offload = OffloadPolicy::Static(0.4); // the paper's best BFS ratio
-    let ndp = System::new(cfg, &program).run(40_000_000);
+    let ndp = System::new(cfg, &program).run(40_000_000).unwrap();
 
     println!(
         "\nbaseline : {:>9} cycles, {:>8} KB GPU-link traffic",

@@ -17,14 +17,22 @@ fn sweep(w: Workload, scale: &Scale) {
         c.gpu.num_sms = 16;
         c
     };
-    let base = System::new(shrink(SystemConfig::baseline()), &program).run(40_000_000);
+    let base = System::new(shrink(SystemConfig::baseline()), &program)
+        .run(40_000_000)
+        .unwrap();
     print!("speedup over baseline:");
     for r in [0.2, 0.4, 0.6, 0.8, 1.0] {
-        let run = System::new(shrink(SystemConfig::ndp_static(r)), &program).run(40_000_000);
+        let run = System::new(shrink(SystemConfig::ndp_static(r)), &program)
+            .run(40_000_000)
+            .unwrap();
         print!("  {:.1}→{:.3}", r, base.cycles as f64 / run.cycles as f64);
     }
-    let dy = System::new(shrink(SystemConfig::ndp_dynamic()), &program).run(40_000_000);
-    let dyc = System::new(shrink(SystemConfig::ndp_dynamic_cache()), &program).run(40_000_000);
+    let dy = System::new(shrink(SystemConfig::ndp_dynamic()), &program)
+        .run(40_000_000)
+        .unwrap();
+    let dyc = System::new(shrink(SystemConfig::ndp_dynamic_cache()), &program)
+        .run(40_000_000)
+        .unwrap();
     println!(
         "\n  NDP(Dyn) {:.3} (achieved ratio {:.2});  NDP(Dyn)_Cache {:.3} (ratio {:.2})\n",
         base.cycles as f64 / dy.cycles as f64,

@@ -28,9 +28,9 @@ fn main() {
     println!("=== simulation ===\n");
     let mut cfg = SystemConfig::baseline();
     cfg.gpu.num_sms = 16;
-    let base = System::new(cfg.clone(), &program).run(20_000_000);
+    let base = System::new(cfg.clone(), &program).run(20_000_000).unwrap();
     cfg.offload = OffloadPolicy::Static(0.6);
-    let ndp = System::new(cfg, &program).run(20_000_000);
+    let ndp = System::new(cfg, &program).run(20_000_000).unwrap();
 
     println!(
         "baseline : {:>9} cycles, {:>8} KB over GPU links",

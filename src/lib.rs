@@ -23,9 +23,9 @@
 //! // Simulate it on the baseline and on the NDP system.
 //! let mut cfg = SystemConfig::baseline();
 //! cfg.gpu.num_sms = 8;
-//! let base = System::new(cfg.clone(), &program).run(10_000_000);
+//! let base = System::new(cfg.clone(), &program).run(10_000_000).unwrap();
 //! cfg.offload = OffloadPolicy::Static(0.6);
-//! let ndp = System::new(cfg, &program).run(10_000_000);
+//! let ndp = System::new(cfg, &program).run(10_000_000).unwrap();
 //!
 //! assert!(!base.timed_out && !ndp.timed_out);
 //! // The NDP run keeps the vector data off the GPU links.
@@ -47,7 +47,10 @@ pub use ndp_workloads as workloads;
 /// The commonly-used types in one import.
 pub mod prelude {
     pub use ndp_common::config::{OffloadPolicy, SystemConfig};
+    pub use ndp_common::error::SimError;
+    pub use ndp_common::fault::{FaultConfig, FaultStats};
     pub use ndp_common::obs::{Obs, ObsConfig, ObsReport};
+    pub use ndp_common::watchdog::StallReport;
     pub use ndp_compiler::{compile, CompilerConfig};
     pub use ndp_core::experiments::{run_matrix, run_workload};
     pub use ndp_core::{RunResult, System};

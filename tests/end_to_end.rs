@@ -12,7 +12,9 @@ fn small(mut cfg: SystemConfig, w: Workload) -> RunResult {
         warps: 64,
         iters: 4,
     });
-    System::new(cfg, &p).run(MAX)
+    System::new(cfg, &p)
+        .run(MAX)
+        .expect("no protocol violation")
 }
 
 #[test]
@@ -52,7 +54,9 @@ fn streaming_ndp_slashes_gpu_link_traffic() {
             warps: 128,
             iters: 8,
         });
-        System::new(cfg, &p).run(MAX)
+        System::new(cfg, &p)
+            .run(MAX)
+            .expect("no protocol violation")
     };
     for w in [Workload::Vadd, Workload::Kmn, Workload::MiniFe] {
         let base = run(SystemConfig::baseline(), w);
@@ -96,9 +100,9 @@ fn page_map_seed_changes_timing_but_not_completion() {
         warps: 64,
         iters: 4,
     });
-    let a = System::new(cfg.clone(), &p).run(MAX);
+    let a = System::new(cfg.clone(), &p).run(MAX).unwrap();
     cfg.seed ^= 0xdecafbad;
-    let b = System::new(cfg, &p).run(MAX);
+    let b = System::new(cfg, &p).run(MAX).unwrap();
     assert!(!a.timed_out && !b.timed_out);
     // Different random page→HMC maps: traffic identical in volume terms is
     // not guaranteed, completion is.
@@ -117,8 +121,8 @@ fn bigger_gpu_is_faster_on_memlight_workload() {
         warps: 256,
         iters: 4,
     });
-    let a = System::new(small_cfg, &p).run(MAX);
-    let b = System::new(big_cfg, &p).run(MAX);
+    let a = System::new(small_cfg, &p).run(MAX).unwrap();
+    let b = System::new(big_cfg, &p).run(MAX).unwrap();
     assert!(b.cycles < a.cycles, "{} !< {}", b.cycles, a.cycles);
 }
 
@@ -147,6 +151,8 @@ fn morecore_baseline_runs_with_72_sms() {
         warps: 144,
         iters: 4,
     });
-    let r = System::new(SystemConfig::baseline_more_core(), &p).run(MAX);
+    let r = System::new(SystemConfig::baseline_more_core(), &p)
+        .run(MAX)
+        .unwrap();
     assert!(!r.timed_out);
 }

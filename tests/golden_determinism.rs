@@ -43,7 +43,9 @@ fn sweep() -> String {
                 warps: 64,
                 iters: 4,
             });
-            let r = System::new(cfg, &p).run(MAX);
+            let r = System::new(cfg, &p)
+                .run(MAX)
+                .expect("no protocol violation");
             assert!(!r.timed_out, "{cname}/{} timed out", w.name());
             out.push_str(&format!("=== {cname} / {} ===\n{r:#?}\n", w.name()));
         }

@@ -21,10 +21,10 @@ fn observation_is_invisible_to_the_simulation() {
     // The tentpole guarantee: obs hooks are read-only, so a run with
     // observability on is bit-identical (cycles, traffic, energy activity —
     // the whole RunResult) to the same run with it off.
-    let off = system(Workload::Vadd).run(MAX);
+    let off = system(Workload::Vadd).run(MAX).unwrap();
     let mut sys = system(Workload::Vadd);
     sys.enable_obs(ObsConfig::on());
-    let mut on = sys.run(MAX);
+    let mut on = sys.run(MAX).unwrap();
     assert!(!off.timed_out && !on.timed_out);
     assert!(on.obs.is_some(), "enabled run must carry a report");
     on.obs = None;
@@ -35,7 +35,7 @@ fn observation_is_invisible_to_the_simulation() {
 fn enabled_run_reports_all_segments_and_series() {
     let mut sys = system(Workload::Vadd);
     sys.enable_obs(ObsConfig::on());
-    let r = sys.run(MAX);
+    let r = sys.run(MAX).unwrap();
     assert!(!r.timed_out);
     let obs = r.obs.as_ref().expect("report present");
 
@@ -89,7 +89,7 @@ fn enabled_run_reports_all_segments_and_series() {
 fn exporters_emit_wellformed_documents() {
     let mut sys = system(Workload::Vadd);
     sys.enable_obs(ObsConfig::on());
-    let r = sys.run(MAX);
+    let r = sys.run(MAX).unwrap();
     let obs = r.obs.as_ref().expect("report present");
 
     let trace = obs.chrome_trace_json();
@@ -117,7 +117,7 @@ fn tracer_and_obs_share_one_event_stream() {
     let mut sys = system(Workload::Vadd);
     sys.enable_trace(4096);
     sys.enable_obs(ObsConfig::on());
-    let r = sys.run(MAX);
+    let r = sys.run(MAX).unwrap();
     let obs = r.obs.as_ref().expect("report present");
     assert!(!obs.events.is_empty(), "obs ring captured protocol events");
     let with_tokens = obs.events.iter().filter(|e| e.token.is_some()).count();

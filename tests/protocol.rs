@@ -9,7 +9,9 @@ const MAX: u64 = 30_000_000;
 fn run(mut cfg: SystemConfig, w: Workload, warps: u32, iters: u32) -> RunResult {
     cfg.gpu.num_sms = 8;
     let p = w.build(&Scale { warps, iters });
-    System::new(cfg, &p).run(MAX)
+    System::new(cfg, &p)
+        .run(MAX)
+        .expect("no protocol violation")
 }
 
 #[test]
@@ -133,7 +135,7 @@ fn every_offload_cmd_gets_exactly_one_ack() {
     });
     let mut sys = System::new(cfg, &p);
     sys.enable_obs(ObsConfig::on());
-    let r = sys.run(MAX);
+    let r = sys.run(MAX).unwrap();
     assert!(!r.timed_out, "run did not drain");
     let obs = r.obs.as_ref().expect("observability enabled");
     assert!(r.offloaded > 0);
