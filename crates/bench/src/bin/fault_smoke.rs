@@ -20,9 +20,7 @@ use ndp_core::system::System;
 use ndp_workloads::{Scale, Workload};
 
 fn main() {
-    let threshold: u64 = std::env::var("NDP_WATCHDOG")
-        .ok()
-        .and_then(|v| v.parse().ok())
+    let threshold: u64 = ndp_common::env::parse_or_die("NDP_WATCHDOG")
         .filter(|&t| t > 0)
         .unwrap_or(4_096);
 

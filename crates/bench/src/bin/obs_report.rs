@@ -36,10 +36,7 @@ fn main() {
             eprintln!("error: unknown config {cfg_name:?}; one of {names:?}");
             std::process::exit(2);
         });
-    cfg.hill_climb.epoch_cycles = std::env::var("NDP_EPOCH")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(30_000);
+    cfg.hill_climb.epoch_cycles = ndp_common::env::parse_or_die("NDP_EPOCH").unwrap_or(30_000);
 
     let scale = ndp_bench::harness_scale();
     let program = w.build(&scale);
@@ -71,9 +68,7 @@ fn main() {
              the report covers a truncated run",
             r.cycles
         );
-        let strict = std::env::var("NDP_STRICT_TIMEOUT")
-            .map(|v| v == "1" || v.eq_ignore_ascii_case("true"))
-            .unwrap_or(false);
+        let strict = ndp_common::env::flag_or_die("NDP_STRICT_TIMEOUT").unwrap_or(false);
         if strict {
             std::process::exit(2);
         }

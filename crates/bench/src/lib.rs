@@ -6,6 +6,8 @@
 //! (quick whole-matrix sanity sweep). Criterion micro-benchmarks live in
 //! `benches/`.
 
+#![forbid(unsafe_code)]
+
 use ndp_core::experiments::{run_matrix, Matrix, DEFAULT_MAX_CYCLES};
 use ndp_core::result::RunResult;
 use ndp_workloads::{Scale, Workload};
@@ -13,15 +15,10 @@ use ndp_workloads::{Scale, Workload};
 /// Default evaluation scale for the harness binaries. Override with
 /// `NDP_WARPS` / `NDP_ITERS` environment variables.
 pub fn harness_scale() -> Scale {
-    let env_u32 = |k: &str, d: u32| {
-        std::env::var(k)
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(d)
-    };
+    use ndp_common::env::parse_or_die;
     Scale {
-        warps: env_u32("NDP_WARPS", Scale::eval().warps),
-        iters: env_u32("NDP_ITERS", Scale::eval().iters),
+        warps: parse_or_die("NDP_WARPS").unwrap_or(Scale::eval().warps),
+        iters: parse_or_die("NDP_ITERS").unwrap_or(Scale::eval().iters),
     }
 }
 
@@ -29,10 +26,7 @@ pub fn harness_scale() -> Scale {
 /// epoch length follows `NDP_EPOCH` (cycles) so that scaled-down runs still
 /// span enough epochs for the hill climber to converge.
 pub fn run(configs: &[(&str, ndp_common::SystemConfig)], workloads: &[Workload]) -> Matrix {
-    let epoch: u64 = std::env::var("NDP_EPOCH")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(30_000);
+    let epoch: u64 = ndp_common::env::parse_or_die("NDP_EPOCH").unwrap_or(30_000);
     let configs: Vec<(&str, ndp_common::SystemConfig)> = configs
         .iter()
         .map(|(n, c)| {
@@ -105,9 +99,7 @@ pub fn warn_timeouts(m: &Matrix) -> usize {
 /// nonzero so CI and scripts cannot silently consume truncated results.
 pub fn enforce_timeouts(m: &Matrix) {
     let n = warn_timeouts(m);
-    let strict = std::env::var("NDP_STRICT_TIMEOUT")
-        .map(|v| v == "1" || v.eq_ignore_ascii_case("true"))
-        .unwrap_or(false);
+    let strict = ndp_common::env::flag_or_die("NDP_STRICT_TIMEOUT").unwrap_or(false);
     if n > 0 && strict {
         std::process::exit(2);
     }

@@ -93,6 +93,18 @@ pub enum SimError {
     },
     /// A workload kernel failed ISA validation.
     InvalidKernel { name: String, detail: String },
+    /// The static partition verifier (Pass 1) rejected an offload-block
+    /// annotation at construction time. `location` names the block and item
+    /// range, `detail` the failed check.
+    BadPartition {
+        kernel: String,
+        location: String,
+        detail: String,
+    },
+    /// The static fabric-graph checker (Pass 2) found the lifted pipeline
+    /// ill-formed (unroutable kind, dead-end delivery, unpaired credit
+    /// pool, or a bounded wait-for cycle).
+    BadFabric { check: &'static str, detail: String },
 }
 
 impl fmt::Display for SimError {
@@ -135,6 +147,17 @@ impl fmt::Display for SimError {
             ),
             SimError::InvalidKernel { name, detail } => {
                 write!(f, "kernel {name} invalid: {detail}")
+            }
+            SimError::BadPartition {
+                kernel,
+                location,
+                detail,
+            } => write!(
+                f,
+                "kernel {kernel}: offload partition invalid at {location}: {detail}"
+            ),
+            SimError::BadFabric { check, detail } => {
+                write!(f, "fabric graph invalid [{check}]: {detail}")
             }
         }
     }

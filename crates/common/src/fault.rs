@@ -59,18 +59,18 @@ impl FaultConfig {
     }
 
     /// Read the `NDP_FAULT_*` environment surface; `None` when no fault
-    /// variable is set (the common case — faults fully disabled).
+    /// variable is set (the common case — faults fully disabled). A set but
+    /// malformed variable is a typed [`crate::env::EnvError`] panic, never a
+    /// silent fall-back to the default.
     pub fn from_env() -> Option<Self> {
-        fn num<T: std::str::FromStr>(key: &str) -> Option<T> {
-            std::env::var(key).ok()?.parse().ok()
-        }
+        use crate::env::{flag_or_die, parse_or_die};
         let cfg = FaultConfig {
-            seed: num("NDP_FAULT_SEED").unwrap_or(0),
-            drop_prob: num("NDP_FAULT_DROP").unwrap_or(0.0),
-            dup_prob: num("NDP_FAULT_DUP").unwrap_or(0.0),
-            delay_prob: num("NDP_FAULT_DELAY_P").unwrap_or(0.0),
-            delay_cycles: num("NDP_FAULT_DELAY_CYCLES").unwrap_or(1_000),
-            withhold_credits: std::env::var("NDP_FAULT_WITHHOLD_CREDITS").is_ok_and(|v| v != "0"),
+            seed: parse_or_die("NDP_FAULT_SEED").unwrap_or(0),
+            drop_prob: parse_or_die("NDP_FAULT_DROP").unwrap_or(0.0),
+            dup_prob: parse_or_die("NDP_FAULT_DUP").unwrap_or(0.0),
+            delay_prob: parse_or_die("NDP_FAULT_DELAY_P").unwrap_or(0.0),
+            delay_cycles: parse_or_die("NDP_FAULT_DELAY_CYCLES").unwrap_or(1_000),
+            withhold_credits: flag_or_die("NDP_FAULT_WITHHOLD_CREDITS").unwrap_or(false),
         };
         cfg.is_active().then_some(cfg)
     }

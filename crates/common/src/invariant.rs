@@ -98,10 +98,7 @@ impl Invariants {
     /// Deep checking default: on for debug builds, overridable either way
     /// with `NDP_DEEP_INVARIANTS=1`/`0`.
     pub fn deep_default() -> bool {
-        match std::env::var("NDP_DEEP_INVARIANTS") {
-            Ok(v) => v != "0",
-            Err(_) => cfg!(debug_assertions),
-        }
+        crate::env::flag_or_die("NDP_DEEP_INVARIANTS").unwrap_or(cfg!(debug_assertions))
     }
 
     pub fn deep(&self) -> bool {

@@ -11,10 +11,16 @@
 //! Chrome-trace export), and the robustness layer: structured simulation
 //! errors ([`error`]), the forward-progress watchdog and stall reports
 //! ([`watchdog`]), the protocol-invariant engine ([`invariant`]), and the
-//! deterministic fault injector ([`fault`]).
+//! deterministic fault injector ([`fault`]). The static-verification layer
+//! lives in [`analysis`] (fabric-graph checks) and [`env`] (typed `NDP_*`
+//! environment parsing with a registry of known knobs).
 
+#![forbid(unsafe_code)]
+
+pub mod analysis;
 pub mod config;
 pub mod credit;
+pub mod env;
 pub mod error;
 pub mod fault;
 pub mod ids;
@@ -28,6 +34,7 @@ pub mod rng;
 pub mod stats;
 pub mod watchdog;
 
+pub use analysis::{CreditPoolSpec, FabricGraph, GraphDiag, GraphEdge, GraphNode};
 pub use config::SystemConfig;
 pub use error::{PacketSummary, SimError};
 pub use fault::{FaultAction, FaultConfig, FaultInjector, FaultStats, InjectedFault};

@@ -8,6 +8,8 @@
 //! computation), compute the live-in/live-out register transfer sets, and
 //! generate the NSU code of Fig. 3(b).
 
+#![forbid(unsafe_code)]
+
 pub mod analyze;
 pub mod codegen;
 pub mod report;

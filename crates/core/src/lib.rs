@@ -8,8 +8,14 @@
 //!   never / always / static ratio (§7.1), hill-climbing dynamic ratio
 //!   (Algorithm 1, §7.2), and the cache-locality-aware gate (§7.3).
 //! * [`experiments`] regenerates every table and figure of the evaluation.
+//! * [`fabric_model`] lifts the executable fabric pipeline into a static
+//!   graph for ndp-lint's Pass 2 checks; `System` construction runs both
+//!   static verification passes and rejects ill-formed machines.
+
+#![forbid(unsafe_code)]
 
 pub mod experiments;
+pub mod fabric_model;
 pub mod fig5;
 pub mod offload;
 pub mod result;
@@ -17,6 +23,7 @@ pub mod system;
 pub mod table;
 pub mod trace;
 
+pub use fabric_model::fabric_graph;
 pub use offload::OffloadController;
 pub use result::RunResult;
 pub use system::System;

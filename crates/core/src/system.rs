@@ -57,13 +57,65 @@ pub struct System {
 }
 
 impl System {
-    /// Build a system for one kernel under one configuration.
+    /// Build a system for one kernel under one configuration. Panics if
+    /// the static verifiers reject the kernel's offload partition or the
+    /// lifted fabric graph ([`System::try_new`] returns the error instead).
     pub fn new(cfg: SystemConfig, program: &Program) -> Self {
-        let kernel = Arc::new(compile(program, &CompilerConfig::default()));
-        Self::with_kernel(cfg, kernel)
+        match Self::try_new(cfg, program) {
+            Ok(sys) => sys,
+            Err(e) => panic!("static verification failed: {e}"),
+        }
     }
 
+    /// Fallible [`System::new`]: runs both static verification passes
+    /// (ndp-lint's Pass 1 over the compiled offload blocks, Pass 2 over
+    /// the lifted fabric pipeline) before wiring the machine.
+    pub fn try_new(cfg: SystemConfig, program: &Program) -> Result<Self, SimError> {
+        let kernel = Arc::new(compile(program, &CompilerConfig::default()));
+        Self::try_with_kernel(cfg, kernel)
+    }
+
+    /// Panicking [`System::try_with_kernel`].
     pub fn with_kernel(cfg: SystemConfig, kernel: Arc<CompiledKernel>) -> Self {
+        match Self::try_with_kernel(cfg, kernel) {
+            Ok(sys) => sys,
+            Err(e) => panic!("static verification failed: {e}"),
+        }
+    }
+
+    /// Static verification gate of every construction path: Pass 1 diffs
+    /// each offload block's annotations against the program text, Pass 2
+    /// checks the lifted fabric graph. The first finding comes back as a
+    /// [`SimError::BadPartition`] / [`SimError::BadFabric`].
+    fn verify_static(cfg: &SystemConfig, kernel: &CompiledKernel) -> Result<(), SimError> {
+        if let Some(d) = ndp_isa::verify_blocks(&kernel.program, &kernel.blocks)
+            .into_iter()
+            .next()
+        {
+            return Err(SimError::BadPartition {
+                kernel: kernel.program.name.to_string(),
+                location: d.location(),
+                detail: d.detail,
+            });
+        }
+        if let Some(d) = crate::fabric_model::fabric_graph(cfg)
+            .check()
+            .into_iter()
+            .next()
+        {
+            return Err(SimError::BadFabric {
+                check: d.check,
+                detail: d.detail,
+            });
+        }
+        Ok(())
+    }
+
+    pub fn try_with_kernel(
+        cfg: SystemConfig,
+        kernel: Arc<CompiledKernel>,
+    ) -> Result<Self, SimError> {
+        Self::verify_static(&cfg, &kernel)?;
         let ndp_on = cfg.offload != OffloadPolicy::Never;
         let blocks = Arc::new(kernel.blocks.clone());
         let bpc = cfg.bytes_per_cycle(cfg.gpu.link_gbps);
@@ -106,7 +158,7 @@ impl System {
             .collect();
         let ctrl = OffloadController::new(&cfg, blocks);
         let nsu_div = cfg.nsu_divider();
-        System {
+        Ok(System {
             cfg,
             kernel,
             sms,
@@ -120,10 +172,7 @@ impl System {
             tracer: Tracer::disabled(),
             obs: Obs::disabled(),
             invariants: Invariants::new(Invariants::deep_default()),
-            watchdog: match std::env::var("NDP_WATCHDOG")
-                .ok()
-                .and_then(|v| v.parse::<Cycle>().ok())
-            {
+            watchdog: match ndp_common::env::parse_or_die::<Cycle>("NDP_WATCHDOG") {
                 Some(0) => None,
                 Some(t) => Some(Watchdog::new(t, &Tx::NAMES)),
                 None => Some(Watchdog::new(DEFAULT_WATCHDOG_CYCLES, &Tx::NAMES)),
@@ -132,7 +181,7 @@ impl System {
             now: 0,
             ndp_on,
             nsu_div,
-        }
+        })
     }
 
     /// Override the watchdog threshold (`None` disables the watchdog).
@@ -641,7 +690,7 @@ const fn edge(tx: Tx, site: Option<TraceSite>) -> Op<System> {
 /// order. The stage order preserves the original hand-rolled phase order
 /// exactly (SMs → slices → up links → stacks → memnet → NSUs → down links
 /// → slice responses → controller).
-const PIPELINE: &[Stage<System>] = &[
+pub(crate) const PIPELINE: &[Stage<System>] = &[
     stage(Op::Tick(Comp::Sms)),
     stage(edge(Tx::SmOut, Some(TraceSite::SmEject))),
     stage(Op::Tick(Comp::Slices)),

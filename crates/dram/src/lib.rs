@@ -6,6 +6,8 @@
 //! about them. All times in this crate are **DRAM clock cycles** (tCK =
 //! 1.5 ns); the HMC layer converts to/from the SM-cycle timebase.
 
+#![forbid(unsafe_code)]
+
 pub mod bank;
 pub mod vault;
 

@@ -12,6 +12,8 @@
 //! reproduction target is the *relative* breakdown and the NDP-vs-baseline
 //! delta, not absolute joules.
 
+#![forbid(unsafe_code)]
+
 use serde::{Deserialize, Serialize};
 
 /// Energy coefficients.

@@ -3,6 +3,8 @@
 //! packet buffers, the credit-keeping buffer manager, RDF/WTA/CMD packet
 //! generation of §4.1.1).
 
+#![forbid(unsafe_code)]
+
 pub mod cache;
 pub mod coalesce;
 pub mod ndpbuf;

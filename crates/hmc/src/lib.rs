@@ -6,6 +6,8 @@
 //! NSU. The vault controllers run in the DRAM clock domain (tCK = 1.5 ns);
 //! this crate owns the SM-cycle ⇄ DRAM-cycle conversion.
 
+#![forbid(unsafe_code)]
+
 pub mod stack;
 
 pub use stack::HmcStack;

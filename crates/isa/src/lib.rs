@@ -8,16 +8,24 @@
 //! values (memory contents are synthesized deterministically), which makes
 //! indirect accesses like `B[A[i]]` produce genuinely data-dependent
 //! divergent address streams.
+//!
+//! [`verify`] statically re-derives every offload-block annotation from the
+//! program text and diffs it against the stored block (Pass 1 of the
+//! `ndp-lint` verification suite).
+
+#![forbid(unsafe_code)]
 
 pub mod disasm;
 pub mod exec;
 pub mod instr;
 pub mod offload;
 pub mod program;
+pub mod verify;
 
 pub use instr::{AluOp, Instr, MemSpace, Operand, Reg};
 pub use offload::{InstrRole, NsuInstr, OffloadBlock};
 pub use program::{ArrayDecl, Item, Program, TripCount};
+pub use verify::{verify_block, verify_blocks, PartitionDiag};
 
 /// SIMT width. The whole model is specialized to 32-lane warps (Table 2).
 pub const WARP_WIDTH: usize = 32;

@@ -6,6 +6,8 @@
 //! stacks) rides this network and never touches the GPU links — the key
 //! bandwidth argument of the paper.
 
+#![forbid(unsafe_code)]
+
 pub mod network;
 pub mod topology;
 

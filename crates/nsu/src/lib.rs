@@ -10,6 +10,8 @@
 //! `OFLD.END` returns an acknowledgment (with live-out registers) after all
 //! writes are acknowledged (§4.1.2).
 
+#![forbid(unsafe_code)]
+
 pub mod core;
 
 pub use core::{CreditEvents, Nsu};

@@ -6,6 +6,8 @@
 //! loads-to-stores ratio, compute per byte, scratchpad/barrier usage, and —
 //! asserted by tests — the per-block NSU instruction counts of Table 1.
 
+#![forbid(unsafe_code)]
+
 pub mod builder;
 pub mod kernels;
 

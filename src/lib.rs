@@ -32,6 +32,8 @@
 //! assert!(ndp.gpu_link_bytes < base.gpu_link_bytes);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use ndp_common as common;
 pub use ndp_compiler as compiler;
 pub use ndp_core as core_sim;
