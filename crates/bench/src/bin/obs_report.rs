@@ -9,10 +9,13 @@
 //!
 //! Outputs:
 //!   - a latency/occupancy summary table on stdout,
+//!   - a per-stage simulator-performance table on stdout (the perf
+//!     self-profile is always enabled here; see DESIGN.md §11),
 //!   - `obs_trace.json`  — Chrome trace-event JSON (load in Perfetto),
-//!   - `obs_metrics.json` — flat metrics document for scripts.
+//!   - `obs_metrics.json` — flat metrics document for scripts,
+//!   - `perf_trace.json` — the self-profile as a Perfetto lane.
 
-use ndp_common::obs::ObsConfig;
+use ndp_common::obs::{ObsConfig, PerfConfig};
 use ndp_core::experiments::fig9_configs;
 use ndp_core::system::System;
 use ndp_workloads::{workload, Workload};
@@ -42,6 +45,12 @@ fn main() {
     let program = w.build(&scale);
     let mut sys = System::new(cfg, &program);
     sys.enable_obs(ObsConfig::on());
+    // Profile unconditionally: this binary exists to report, and the
+    // strided timer keeps the cost negligible. `NDP_PERF_*` still tunes
+    // stride/heartbeat cadence via the config constructor.
+    let mut perf_cfg = PerfConfig::from_env();
+    perf_cfg.enabled = true;
+    sys.enable_perf(perf_cfg);
     let r = sys
         .run(ndp_core::experiments::DEFAULT_MAX_CYCLES)
         .expect("no protocol violation");
@@ -56,11 +65,18 @@ fn main() {
     let report = r.obs.as_ref().expect("observability was enabled");
     println!("{}", report.summary_text());
 
+    let perf = r.perf.as_ref().expect("profiling was enabled");
+    println!("{}", perf.table_text());
+
     let trace_path = "obs_trace.json";
     let metrics_path = "obs_metrics.json";
+    let perf_path = "perf_trace.json";
     std::fs::write(trace_path, report.chrome_trace_json()).expect("write trace");
     std::fs::write(metrics_path, report.metrics_json()).expect("write metrics");
-    println!("wrote {trace_path} (open in https://ui.perfetto.dev) and {metrics_path}");
+    std::fs::write(perf_path, perf.chrome_trace_json()).expect("write perf trace");
+    println!(
+        "wrote {trace_path} and {perf_path} (open in https://ui.perfetto.dev) and {metrics_path}"
+    );
 
     if r.timed_out {
         eprintln!(

@@ -8,6 +8,8 @@
 
 #![forbid(unsafe_code)]
 
+pub mod baseline;
+
 use ndp_core::experiments::{run_matrix, Matrix, DEFAULT_MAX_CYCLES};
 use ndp_core::result::RunResult;
 use ndp_workloads::{Scale, Workload};

@@ -121,6 +121,26 @@ pub const KNOWN: &[(&str, &str)] = &[
         "NDP_BLESS",
         "golden-determinism test: rewrite the golden files (flag)",
     ),
+    (
+        "NDP_PERF",
+        "enable the simulator's perf self-profiling layer (flag)",
+    ),
+    (
+        "NDP_PERF_STRIDE",
+        "pipeline passes between wall-clock-sampled passes (u64, default 64)",
+    ),
+    (
+        "NDP_PERF_HEARTBEAT",
+        "cycles between perf heartbeat snapshots (u64; 0 disables)",
+    ),
+    (
+        "NDP_PERF_STDERR",
+        "print each perf heartbeat to stderr as it is taken (flag)",
+    ),
+    (
+        "NDP_PERF_TOL",
+        "bench_baseline --check: allowed throughput regression fraction (f64, default 0.15)",
+    ),
 ];
 
 /// `NDP_`-prefixed variables set in the process environment that are not in
@@ -201,6 +221,21 @@ mod tests {
             .expect("typo var reported");
         assert_eq!(hit.1, Some("NDP_WATCHDOG"));
         std::env::remove_var("NDP_WATCHDOk");
+    }
+
+    #[test]
+    fn typo_detection_covers_perf_knobs() {
+        // The perf surface is registered: NDP_PERF itself is known (not a
+        // typo), and a misspelled perf knob suggests the real one.
+        assert!(KNOWN.iter().any(|(k, _)| *k == "NDP_PERF"));
+        std::env::set_var("NDP_PERF_STRIDES", "32");
+        let unknown = unknown_ndp_vars();
+        let hit = unknown
+            .iter()
+            .find(|(name, _)| name == "NDP_PERF_STRIDES")
+            .expect("typoed perf knob reported");
+        assert_eq!(hit.1, Some("NDP_PERF_STRIDE"));
+        std::env::remove_var("NDP_PERF_STRIDES");
     }
 
     #[test]

@@ -11,7 +11,12 @@
 //! are hand-rolled (the report holds only numbers and static names), so
 //! exporting needs no serializer framework.
 
+use super::perf::PerfReport;
 use super::{ObsReport, TraceSite};
+
+/// Version stamp of the flat metrics document. Bumped to 2 when the field
+/// itself was introduced (v1 documents carry no version).
+pub const METRICS_SCHEMA_VERSION: u32 = 2;
 
 /// Minimal JSON string escape (quotes, backslashes, control characters).
 fn esc(s: &str) -> String {
@@ -38,6 +43,7 @@ fn num(v: f64) -> String {
 
 const PID_PROTOCOL: u32 = 0;
 const PID_OCCUPANCY: u32 = 1;
+const PID_PERF: u32 = 2;
 
 /// Render a report as Chrome trace-event JSON.
 pub fn chrome_trace_json(report: &ObsReport) -> String {
@@ -95,9 +101,58 @@ pub fn chrome_trace_json(report: &ObsReport) -> String {
     )
 }
 
+/// Render the simulator's self-profile as Chrome trace-event JSON: a
+/// third Perfetto lane next to the protocol and occupancy ones. Per-stage
+/// estimated wall time renders as one span per stage laid end to end (a
+/// one-frame flame view of where host time goes); heartbeats render as
+/// counter tracks (cycles/sec and routing occupancy over sim cycles).
+pub fn perf_chrome_trace_json(report: &PerfReport) -> String {
+    let mut ev: Vec<String> = Vec::new();
+    ev.push(format!(
+        r#"{{"name":"process_name","ph":"M","pid":{PID_PERF},"tid":0,"args":{{"name":"simulator perf (host wall time)"}}}}"#
+    ));
+    ev.push(format!(
+        r#"{{"name":"thread_name","ph":"M","pid":{PID_PERF},"tid":0,"args":{{"name":"stage wall time"}}}}"#
+    ));
+    let mut ts = 0u64;
+    for s in &report.stages {
+        let dur_us = s.est_wall_ns / 1_000;
+        ev.push(format!(
+            r#"{{"name":"{}","cat":"perf","ph":"X","ts":{ts},"dur":{dur_us},"pid":{PID_PERF},"tid":0,"args":{{"invocations":{},"gated":{},"idle":{},"moved":{},"idle_frac":{},"wall_frac":{}}}}}"#,
+            esc(&s.name),
+            s.invocations,
+            s.gated,
+            s.idle,
+            s.moved,
+            num(s.idle_frac),
+            num(s.wall_frac)
+        ));
+        ts += dur_us;
+    }
+    for hb in &report.heartbeats {
+        ev.push(format!(
+            r#"{{"name":"cycles_per_sec","ph":"C","ts":{},"pid":{PID_PERF},"tid":1,"args":{{"value":{}}}}}"#,
+            hb.cycle,
+            num(hb.cycles_per_sec)
+        ));
+        ev.push(format!(
+            r#"{{"name":"route_occupancy","ph":"C","ts":{},"pid":{PID_PERF},"tid":1,"args":{{"value":{}}}}}"#,
+            hb.cycle,
+            num(hb.route_occupancy)
+        ));
+    }
+    format!(
+        "{{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n{}\n]}}\n",
+        ev.join(",\n")
+    )
+}
+
 /// Render a report as a flat JSON metrics document.
 pub fn metrics_json(report: &ObsReport) -> String {
     let mut out = String::from("{\n");
+    out.push_str(&format!(
+        "  \"schema_version\": {METRICS_SCHEMA_VERSION},\n"
+    ));
     out.push_str(&format!(
         "  \"sample_interval\": {},\n  \"txn\": {{\"issued\": {}, \"completed\": {}, \"inflight\": {}, \"orphan_acks\": {}}},\n",
         report.sample_interval,
@@ -230,6 +285,29 @@ mod tests {
         assert!(json.contains("\"end_to_end\""));
         assert!(json.contains("\"nsu_read_buf\""));
         assert!(json.contains("\"issued\": 1"));
+        assert!(
+            json.contains(&format!("\"schema_version\": {METRICS_SCHEMA_VERSION}")),
+            "metrics document must be versioned"
+        );
+    }
+
+    #[test]
+    fn perf_trace_is_structured_and_complete() {
+        use super::super::perf::{Perf, PerfConfig, StageOutcome};
+        let mut cfg = PerfConfig::on();
+        cfg.heartbeat_interval = 2;
+        let mut p = Perf::new(cfg, vec!["tick:sms".into(), "edge:sm_out".into()]);
+        for now in 0..6u64 {
+            p.cycle_begin(now);
+            p.stage(0, StageOutcome::Ticked);
+            p.stage(1, StageOutcome::Routed(now % 2));
+        }
+        let json = perf_chrome_trace_json(&p.report(6));
+        check_json_structure(&json);
+        assert!(json.contains("\"edge:sm_out\""));
+        assert!(json.contains("\"ph\":\"X\""), "stage spans present");
+        assert!(json.contains("\"cycles_per_sec\""), "heartbeat counters");
+        assert!(json.contains("\"route_occupancy\""));
     }
 
     #[test]

@@ -11,7 +11,10 @@
 //!   Fig. 2 walkthrough tracer in `ndp-core`);
 //! * [`ObsReport`] — the serializable outcome, with Chrome trace-event JSON
 //!   ([`ObsReport::chrome_trace_json`], loadable in Perfetto) and a flat
-//!   metrics document ([`ObsReport::metrics_json`]).
+//!   metrics document ([`ObsReport::metrics_json`]);
+//! * [`perf`] — the simulator's *self*-profile: per-pipeline-stage host
+//!   wall-time and idle-tick attribution, throughput heartbeats, and its
+//!   own Perfetto lane (`NDP_PERF`).
 //!
 //! Everything is gated behind [`ObsConfig`], **off by default**: a disabled
 //! [`Obs`] costs one branch per hook, records nothing, and leaves every
@@ -20,11 +23,13 @@
 pub mod chrome;
 pub mod event;
 pub mod histogram;
+pub mod perf;
 pub mod timeseries;
 pub mod txn;
 
 pub use event::{EventRing, TraceEvent, TraceSite};
 pub use histogram::Histogram;
+pub use perf::{Perf, PerfConfig, PerfReport, StageOutcome, StagePerf};
 pub use timeseries::TimeSeries;
 pub use txn::TxnTracker;
 

@@ -26,6 +26,7 @@ use std::ops::Index;
 use crate::error::SimError;
 use crate::fault::{FaultAction, InjectedFault};
 use crate::ids::Cycle;
+use crate::obs::perf::StageOutcome;
 use crate::obs::TraceSite;
 use crate::packet::Packet;
 
@@ -262,6 +263,11 @@ pub trait FabricCtx {
     fn note_fault(&mut self, _now: Cycle, _fault: InjectedFault) {}
     /// A packet crossed this edge (forward-progress hook for watchdogs).
     fn moved(&mut self, _now: Cycle, _tx: Self::Tx) {}
+    /// Per-stage attribution hook: called exactly once per pipeline stage
+    /// per [`Fabric::tick`], with the stage's index and what it did (ran,
+    /// was clock-gated, or routed N packets). The perf self-profiling
+    /// layer hangs off this; the default is a no-op.
+    fn stage_done(&mut self, _now: Cycle, _idx: usize, _outcome: StageOutcome) {}
 }
 
 /// One edge of the routing table: a transmit port kind, plus the trace
@@ -309,7 +315,11 @@ enum Step<R> {
 /// wire, so downstream conservation counters see the loss); a delayed
 /// packet holds its queue head; a duplicated packet is delivered and
 /// observed twice.
-pub fn run_edge<C: FabricCtx>(ctx: &mut C, now: Cycle, edge: &Edge<C>) -> Result<(), SimError> {
+///
+/// Returns the number of packets delivered (accepted duplicates included;
+/// dropped packets excluded) — the fabric's per-stage work count.
+pub fn run_edge<C: FabricCtx>(ctx: &mut C, now: Cycle, edge: &Edge<C>) -> Result<u64, SimError> {
+    let mut delivered = 0u64;
     for lane in 0..ctx.lanes(edge.tx) {
         loop {
             let step = match ctx.peek(now, edge.tx, lane) {
@@ -349,6 +359,7 @@ pub fn run_edge<C: FabricCtx>(ctx: &mut C, now: Cycle, edge: &Edge<C>) -> Result
                     }
                     let copy = dup.then(|| p.clone());
                     ctx.accept(now, rx, p)?;
+                    delivered += 1;
                     if let Some(copy) = copy {
                         // The duplicate needs its own slot; skip it if the
                         // receiver filled up on the original.
@@ -358,13 +369,14 @@ pub fn run_edge<C: FabricCtx>(ctx: &mut C, now: Cycle, edge: &Edge<C>) -> Result
                                 ctx.observe(now, site, &copy);
                             }
                             ctx.accept(now, rx, copy)?;
+                            delivered += 1;
                         }
                     }
                 }
             }
         }
     }
-    Ok(())
+    Ok(delivered)
 }
 
 /// A declarative pipeline over a [`FabricCtx`]: executes its stages in
@@ -375,14 +387,24 @@ pub struct Fabric<'a, C: FabricCtx> {
 
 impl<C: FabricCtx> Fabric<'_, C> {
     pub fn tick(&self, ctx: &mut C, now: Cycle) -> Result<(), SimError> {
-        for stage in self.stages {
+        for (idx, stage) in self.stages.iter().enumerate() {
             if !ctx.gate_open(stage.gate, now) {
+                ctx.stage_done(now, idx, StageOutcome::Gated);
                 continue;
             }
             match &stage.op {
-                Op::Tick(c) => ctx.tick_comp(now, *c),
-                Op::Route(e) => run_edge(ctx, now, e)?,
-                Op::Side(s) => ctx.side(now, *s),
+                Op::Tick(c) => {
+                    ctx.tick_comp(now, *c);
+                    ctx.stage_done(now, idx, StageOutcome::Ticked);
+                }
+                Op::Route(e) => {
+                    let moved = run_edge(ctx, now, e)?;
+                    ctx.stage_done(now, idx, StageOutcome::Routed(moved));
+                }
+                Op::Side(s) => {
+                    ctx.side(now, *s);
+                    ctx.stage_done(now, idx, StageOutcome::Ticked);
+                }
             }
         }
         Ok(())
@@ -473,6 +495,8 @@ mod tests {
         held: usize,
         moves: usize,
         fail_route: bool,
+        gate_closed: bool,
+        outcomes: Vec<(usize, StageOutcome)>,
     }
 
     impl Toy {
@@ -487,6 +511,8 @@ mod tests {
                 held: 0,
                 moves: 0,
                 fail_route: false,
+                gate_closed: false,
+                outcomes: Vec::new(),
             }
         }
     }
@@ -502,7 +528,7 @@ mod tests {
             self.tx.len()
         }
         fn gate_open(&self, _: (), _: Cycle) -> bool {
-            true
+            !self.gate_closed
         }
         fn peek(&self, _: Cycle, _: (), lane: usize) -> Option<&Packet> {
             self.tx[lane].front()
@@ -548,6 +574,9 @@ mod tests {
         fn moved(&mut self, _: Cycle, _: ()) {
             self.moves += 1;
         }
+        fn stage_done(&mut self, _: Cycle, idx: usize, outcome: StageOutcome) {
+            self.outcomes.push((idx, outcome));
+        }
     }
 
     const SITE: Option<TraceSite> = Some(TraceSite::SmEject);
@@ -560,7 +589,8 @@ mod tests {
             toy.tx[1].push_back(pkt(10 + i));
         }
         let edge = Edge { tx: (), site: SITE };
-        run_edge(&mut toy, 0, &edge).unwrap();
+        let n = run_edge(&mut toy, 0, &edge).unwrap();
+        assert_eq!(n, 3, "run_edge reports the packets it delivered");
         assert_eq!(toy.rx.len(), 3, "receiver capacity caps the cycle");
         assert_eq!(toy.observed, 3, "one observation per movement");
         assert_eq!(toy.moves, 3, "one progress note per movement");
@@ -583,7 +613,8 @@ mod tests {
         }
         toy.faults.insert(1, FaultAction::Drop);
         let edge = Edge { tx: (), site: SITE };
-        run_edge(&mut toy, 0, &edge).unwrap();
+        let n = run_edge(&mut toy, 0, &edge).unwrap();
+        assert_eq!(n, 2, "a dropped packet is not counted as delivered");
         let tags: Vec<u64> = toy.rx.iter().map(tag_of).collect();
         assert_eq!(tags, vec![0, 2], "dropped packet never delivered");
         assert_eq!(toy.dropped, 1);
@@ -612,11 +643,62 @@ mod tests {
         toy.tx[0].push_back(pkt(7));
         toy.faults.insert(7, FaultAction::Duplicate);
         let edge = Edge { tx: (), site: SITE };
-        run_edge(&mut toy, 0, &edge).unwrap();
+        let n = run_edge(&mut toy, 0, &edge).unwrap();
+        assert_eq!(n, 2, "an accepted duplicate counts as a delivery");
         let tags: Vec<u64> = toy.rx.iter().map(tag_of).collect();
         assert_eq!(tags, vec![7, 7]);
         assert_eq!(toy.duplicated, 1);
         assert_eq!(toy.observed, 2);
+    }
+
+    #[test]
+    fn fabric_reports_stage_outcomes_in_stage_order() {
+        let mut toy = Toy::new(1, 8);
+        toy.tx[0].push_back(pkt(1));
+        toy.tx[0].push_back(pkt(2));
+        let fabric = Fabric {
+            stages: &[
+                Stage {
+                    gate: (),
+                    op: Op::Tick(()),
+                },
+                Stage {
+                    gate: (),
+                    op: Op::Route(Edge { tx: (), site: SITE }),
+                },
+                Stage {
+                    gate: (),
+                    op: Op::Side(()),
+                },
+            ],
+        };
+        fabric.tick(&mut toy, 0).unwrap();
+        assert_eq!(
+            toy.outcomes,
+            vec![
+                (0, StageOutcome::Ticked),
+                (1, StageOutcome::Routed(2)),
+                (2, StageOutcome::Ticked),
+            ]
+        );
+        // Empty lane: the routing stage is an idle tick, not a move.
+        toy.outcomes.clear();
+        fabric.tick(&mut toy, 1).unwrap();
+        assert_eq!(toy.outcomes[1], (1, StageOutcome::Routed(0)));
+        // Closed gate: every stage reports Gated and does nothing.
+        toy.outcomes.clear();
+        toy.gate_closed = true;
+        toy.tx[0].push_back(pkt(3));
+        fabric.tick(&mut toy, 2).unwrap();
+        assert_eq!(
+            toy.outcomes,
+            vec![
+                (0, StageOutcome::Gated),
+                (1, StageOutcome::Gated),
+                (2, StageOutcome::Gated),
+            ]
+        );
+        assert_eq!(toy.tx[0].len(), 1, "gated routing stage moved nothing");
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Simulation results: everything the figure drivers need.
 
 use ndp_common::fault::FaultStats;
+use ndp_common::obs::perf::PerfReport;
 use ndp_common::obs::ObsReport;
 use ndp_common::stats::{CacheStats, DramStats, IssueStats};
 use ndp_common::watchdog::StallReport;
@@ -48,6 +49,12 @@ pub struct RunResult {
     /// Observability report (latency histograms, occupancy time-series,
     /// protocol events) — `Some` only when observability was enabled.
     pub obs: Option<ObsReport>,
+    /// Simulator self-profile (per-stage wall-time/idle attribution,
+    /// throughput heartbeats) — `Some` only when `NDP_PERF` profiling was
+    /// enabled. Never rendered by `Debug`: wall times are host-dependent,
+    /// and golden byte comparisons must hold with profiling on.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub perf: Option<PerfReport>,
     /// Structured stall diagnosis — `Some` only when the forward-progress
     /// watchdog aborted the run.
     #[serde(skip_serializing_if = "Option::is_none")]

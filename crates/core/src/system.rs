@@ -8,6 +8,7 @@ use ndp_common::fault::{FaultAction, FaultConfig, FaultInjector, FaultStats, Inj
 use ndp_common::ids::{Cycle, HmcId, Node};
 use ndp_common::invariant::Invariants;
 use ndp_common::link::Link;
+use ndp_common::obs::perf::{Perf, PerfConfig, StageOutcome};
 use ndp_common::obs::{Obs, ObsConfig};
 use ndp_common::packet::{Packet, PacketKind};
 use ndp_common::port::{Component, Edge, Fabric, FabricCtx, Op, Stage};
@@ -45,6 +46,11 @@ pub struct System {
     /// Optional observability layer (latency histograms, occupancy
     /// time-series, event export); disabled by default.
     pub obs: Obs,
+    /// Optional perf self-profiling layer (per-stage wall-time/idle
+    /// attribution, throughput heartbeats); disabled by default, armed by
+    /// `NDP_PERF=1` or [`System::enable_perf`]. Read-only: it never
+    /// changes simulated behaviour.
+    pub perf: Perf,
     /// Protocol-invariant engine, fed from the fabric's observation site.
     invariants: Invariants,
     /// Forward-progress watchdog (`None` disables; `NDP_WATCHDOG=0`).
@@ -171,6 +177,7 @@ impl System {
             ctrl,
             tracer: Tracer::disabled(),
             obs: Obs::disabled(),
+            perf: Perf::new(PerfConfig::from_env(), stage_names()),
             invariants: Invariants::new(Invariants::deep_default()),
             watchdog: match ndp_common::env::parse_or_die::<Cycle>("NDP_WATCHDOG") {
                 Some(0) => None,
@@ -217,10 +224,19 @@ impl System {
         self.obs = Obs::new(cfg);
     }
 
+    /// Arm (or, with a disabled config, disarm) the perf self-profiling
+    /// layer, overriding whatever `NDP_PERF` said at construction.
+    /// Profiling is read-only: it never perturbs simulation outcomes, and
+    /// its wall-clock readings never feed back into the model.
+    pub fn enable_perf(&mut self, cfg: PerfConfig) {
+        self.perf = Perf::new(cfg, stage_names());
+    }
+
     /// One SM-clock cycle: execute the fabric pipeline, surfacing any
     /// protocol violation detected during it.
     pub fn try_tick(&mut self) -> Result<(), SimError> {
         let now = self.now;
+        self.perf.cycle_begin(now);
         Fabric { stages: PIPELINE }.tick(self, now)?;
         self.now += 1;
         // Stack interiors tick through the infallible `Component` trait;
@@ -447,6 +463,9 @@ impl System {
         };
         if self.obs.is_on() {
             r.obs = Some(self.obs.report());
+        }
+        if self.perf.is_on() {
+            r.perf = Some(self.perf.report(self.now));
         }
         r
     }
@@ -679,6 +698,20 @@ const fn stage(op: Op<System>) -> Stage<System> {
         gate: Gate::Always,
         op,
     }
+}
+
+/// Display names for the PIPELINE stages, index-aligned with the stage
+/// list — the perf layer's attribution labels (`tick:sms`, `edge:sm_out`,
+/// `side:credits`, ...).
+fn stage_names() -> Vec<String> {
+    PIPELINE
+        .iter()
+        .map(|s| match &s.op {
+            Op::Tick(c) => format!("tick:{}", format!("{c:?}").to_lowercase()),
+            Op::Route(e) => format!("edge:{}", e.tx.name()),
+            Op::Side(sc) => format!("side:{}", format!("{sc:?}").to_lowercase()),
+        })
+        .collect()
 }
 
 const fn edge(tx: Tx, site: Option<TraceSite>) -> Op<System> {
@@ -976,6 +1009,10 @@ impl FabricCtx for System {
         if let Some(w) = &mut self.watchdog {
             w.note_move(now, tx.index());
         }
+    }
+
+    fn stage_done(&mut self, _now: Cycle, idx: usize, outcome: StageOutcome) {
+        self.perf.stage(idx, outcome);
     }
 }
 

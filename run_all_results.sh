@@ -3,20 +3,17 @@
 cd /root/repo
 export NDP_WARPS=1024 NDP_ITERS=8 NDP_EPOCH=2000
 R=results
-./target/release/table1 > $R/table1.txt 2>&1
-./target/release/table2 > $R/table2.txt 2>&1
-./target/release/fig5 > $R/fig5.txt 2>&1
-./target/release/overhead > $R/overhead.txt 2>&1
-./target/release/fig9 > $R/fig9.txt 2>&1
-./target/release/fig7 > $R/fig7.txt 2>&1
-./target/release/fig8 > $R/fig8.txt 2>&1
-./target/release/fig10 > $R/fig10.txt 2>&1
-./target/release/fig11 > $R/fig11.txt 2>&1
-./target/release/inval_traffic > $R/inval_traffic.txt 2>&1
-./target/release/nsu_freq > $R/nsu_freq.txt 2>&1
-./target/release/bigger_gpu > $R/bigger_gpu.txt 2>&1
-./target/release/nsu_cache > $R/nsu_cache.txt 2>&1
-./target/release/ablate > $R/ablate.txt 2>&1
-./target/release/bicg_fine > $R/bicg_fine.txt 2>&1
+# One entry per harness binary: make_report globs results/*.txt, so adding
+# a binary here is the only step needed to get it into REPORT.md.
+BINS="table1 table2 fig5 overhead fig9 fig7 fig8 fig10 fig11 \
+      inval_traffic nsu_freq bigger_gpu nsu_cache ablate bicg_fine"
+for b in $BINS; do
+    ./target/release/$b > $R/$b.txt 2>&1
+done
+# Simulator self-profile: per-stage host-time/idle attribution for the
+# recorded scale (NDP_PERF_* env tunes stride and heartbeat cadence).
+NDP_PERF=1 ./target/release/obs_report > $R/perf_report.txt 2>&1
+# Core throughput baseline for regression gating (BENCH_core.json).
+./target/release/bench_baseline --out $R/BENCH_core.json > $R/bench_baseline.txt 2>&1
 ./target/release/make_report
 echo ALL_DONE
