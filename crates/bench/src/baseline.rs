@@ -23,8 +23,9 @@ use ndp_core::system::System;
 use ndp_workloads::{Scale, Workload};
 use serde::{Deserialize, Serialize};
 
-/// Version stamp of the `BENCH_core.json` document.
-pub const BENCH_SCHEMA_VERSION: u32 = 1;
+/// Version stamp of the `BENCH_core.json` document. v2 added the
+/// per-stage `skip_frac` column from the event-driven core.
+pub const BENCH_SCHEMA_VERSION: u32 = 2;
 
 /// One benchmark scenario: a configuration and a workload set at a fixed
 /// scale, timed over `reps` repetitions (best rep wins, to shed scheduler
@@ -110,6 +111,9 @@ pub struct StageIdle {
     pub stage: String,
     /// Fraction of this stage's routing invocations that moved nothing.
     pub idle_frac: f64,
+    /// Fraction of simulated cycles the quiescence layer proved this stage
+    /// had no work and skipped it outright.
+    pub skip_frac: f64,
     /// This stage's share of estimated host wall time.
     pub wall_frac: f64,
 }
@@ -175,12 +179,22 @@ fn merge_stage_idle(reports: &[Vec<StagePerf>]) -> Vec<StageIdle> {
             routed += r[i].routed;
             wall += r[i].est_wall_ns;
         }
+        let (mut skipped, mut cycles) = (0u64, 0u64);
+        for r in reports {
+            skipped += r[i].skipped;
+            cycles += r[i].invocations + r[i].gated + r[i].skipped;
+        }
         out.push(StageIdle {
             stage: s.name.clone(),
             idle_frac: if routed == 0 {
                 0.0
             } else {
                 idle as f64 / routed as f64
+            },
+            skip_frac: if cycles == 0 {
+                0.0
+            } else {
+                skipped as f64 / cycles as f64
             },
             wall_frac: if total_wall == 0 {
                 0.0
@@ -413,27 +427,36 @@ mod tests {
             name: "edge:x".to_string(),
             invocations: 10,
             gated: 0,
+            skipped: 10,
             idle: 4,
             moved: 6,
             routed: 10,
             est_wall_ns: 300,
             idle_frac: 0.4,
+            skip_frac: 0.5,
             wall_frac: 1.0,
         }];
         let b = vec![StagePerf {
             name: "edge:x".to_string(),
             invocations: 30,
             gated: 0,
+            skipped: 10,
             idle: 24,
             moved: 6,
             routed: 30,
             est_wall_ns: 100,
             idle_frac: 0.8,
+            skip_frac: 0.25,
             wall_frac: 1.0,
         }];
         let merged = merge_stage_idle(&[a, b]);
         assert_eq!(merged.len(), 1);
         assert!((merged[0].idle_frac - 0.7).abs() < 1e-12, "{merged:?}");
+        // 20 skipped cycles over (20 + 40) stage-cycles.
+        assert!(
+            (merged[0].skip_frac - 20.0 / 60.0).abs() < 1e-12,
+            "{merged:?}"
+        );
         assert!((merged[0].wall_frac - 1.0).abs() < 1e-12);
     }
 }

@@ -76,7 +76,7 @@ fn main() {
     match check_path {
         None => {
             let doc = measure_doc(&[fig7_small(), fig7_scale()]);
-            let json = serde_json::to_string_pretty(&doc).expect("serializable");
+            let json = ndp_bench::jsonio::baseline_to_json(&doc);
             std::fs::write(&out_path, json + "\n").expect("write baseline");
             for e in &doc.entries {
                 println!(
@@ -95,10 +95,11 @@ fn main() {
                 eprintln!("error: cannot read baseline {path}: {e}");
                 std::process::exit(2);
             });
-            let base: BenchBaseline = serde_json::from_str(&raw).unwrap_or_else(|e| {
-                eprintln!("error: cannot parse baseline {path}: {e}");
-                std::process::exit(2);
-            });
+            let base: BenchBaseline =
+                ndp_bench::jsonio::baseline_from_json(&raw).unwrap_or_else(|e| {
+                    eprintln!("error: cannot parse baseline {path}: {e}");
+                    std::process::exit(2);
+                });
             if base.schema_version != BENCH_SCHEMA_VERSION {
                 eprintln!(
                     "error: baseline schema v{} != supported v{BENCH_SCHEMA_VERSION}",
@@ -111,7 +112,7 @@ fn main() {
             // smoke gate, and fig7_scale exists for local deep runs.
             let cur = measure_doc(&[fig7_small()]);
             let outcome = check(&base, &cur, tol);
-            let json = serde_json::to_string_pretty(&outcome).expect("serializable");
+            let json = ndp_bench::jsonio::check_to_json(&outcome);
             std::fs::write("BENCH_check.json", json + "\n").expect("write check outcome");
             if outcome.bootstrap {
                 eprintln!(

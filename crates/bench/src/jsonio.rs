@@ -1,0 +1,495 @@
+//! Hand-rolled JSON emit/parse for the baseline documents.
+//!
+//! `BENCH_core.json` must be writable and readable in every build of the
+//! workspace, including offline ones where `serde_json` may be stubbed out
+//! (the committed obs exporters set the precedent: hand-rolled JSON, no
+//! serializer required). The document shapes are small and fixed, so a
+//! ~100-line emitter/parser is cheaper than a serializer dependency in the
+//! binary's critical path. The serde derives on the types stay: external
+//! tooling can still deserialize the files with full serde.
+
+use crate::baseline::{BenchBaseline, BenchEntry, CheckOutcome, EntryCheck, StageIdle};
+
+// ---------------------------------------------------------------- emitting
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// `f64` in a form `parse::<f64>` round-trips (always with a decimal point
+/// or exponent so the value re-reads as a float, not an integer).
+fn num(v: f64) -> String {
+    if v.is_finite() {
+        let s = format!("{v}");
+        if s.contains('.') || s.contains('e') || s.contains('E') {
+            s
+        } else {
+            format!("{s}.0")
+        }
+    } else {
+        // JSON has no Inf/NaN; the ratio of a missing entry is the only
+        // producer and `null` keeps the document parseable everywhere.
+        "null".to_string()
+    }
+}
+
+fn stage_idle_json(s: &StageIdle, ind: &str) -> String {
+    format!(
+        "{ind}{{ \"stage\": \"{}\", \"idle_frac\": {}, \"skip_frac\": {}, \"wall_frac\": {} }}",
+        esc(&s.stage),
+        num(s.idle_frac),
+        num(s.skip_frac),
+        num(s.wall_frac),
+    )
+}
+
+fn entry_json(e: &BenchEntry) -> String {
+    let workloads: Vec<String> = e
+        .workloads
+        .iter()
+        .map(|w| format!("\"{}\"", esc(w)))
+        .collect();
+    let stages: Vec<String> = e
+        .stage_idle
+        .iter()
+        .map(|s| stage_idle_json(s, "        "))
+        .collect();
+    format!(
+        "    {{\n      \"name\": \"{}\",\n      \"config\": \"{}\",\n      \"workloads\": [{}],\n      \
+         \"warps\": {},\n      \"iters\": {},\n      \"reps\": {},\n      \"sim_cycles\": {},\n      \
+         \"wall_ns\": {},\n      \"cycles_per_sec\": {},\n      \"stage_idle\": [\n{}\n      ]\n    }}",
+        esc(&e.name),
+        esc(&e.config),
+        workloads.join(", "),
+        e.warps,
+        e.iters,
+        e.reps,
+        e.sim_cycles,
+        e.wall_ns,
+        num(e.cycles_per_sec),
+        stages.join(",\n"),
+    )
+}
+
+/// Render a baseline document as pretty-printed JSON (no trailing newline).
+pub fn baseline_to_json(doc: &BenchBaseline) -> String {
+    let entries: Vec<String> = doc.entries.iter().map(entry_json).collect();
+    format!(
+        "{{\n  \"schema_version\": {},\n  \"git_rev\": \"{}\",\n  \"entries\": [\n{}\n  ]\n}}",
+        doc.schema_version,
+        esc(&doc.git_rev),
+        entries.join(",\n"),
+    )
+}
+
+/// Render a check outcome as pretty-printed JSON (no trailing newline).
+pub fn check_to_json(o: &CheckOutcome) -> String {
+    let entries: Vec<String> = o
+        .entries
+        .iter()
+        .map(|e| {
+            format!(
+                "    {{ \"name\": \"{}\", \"baseline_cycles_per_sec\": {}, \
+                 \"current_cycles_per_sec\": {}, \"ratio\": {}, \"sim_cycles_match\": {}, \"ok\": {} }}",
+                esc(&e.name),
+                num(e.baseline_cycles_per_sec),
+                num(e.current_cycles_per_sec),
+                num(e.ratio),
+                e.sim_cycles_match,
+                e.ok,
+            )
+        })
+        .collect();
+    format!(
+        "{{\n  \"schema_version\": {},\n  \"tolerance\": {},\n  \"baseline_git_rev\": \"{}\",\n  \
+         \"current_git_rev\": \"{}\",\n  \"bootstrap\": {},\n  \"entries\": [\n{}\n  ],\n  \"ok\": {}\n}}",
+        o.schema_version,
+        num(o.tolerance),
+        esc(&o.baseline_git_rev),
+        esc(&o.current_git_rev),
+        o.bootstrap,
+        entries.join(",\n"),
+        o.ok,
+    )
+}
+
+// ----------------------------------------------------------------- parsing
+
+/// Minimal JSON value tree — just enough to read the documents back.
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get<'a>(&'a self, key: &str) -> Option<&'a Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+    fn str_or(&self, key: &str, default: &str) -> String {
+        match self.get(key) {
+            Some(Json::Str(s)) => s.clone(),
+            _ => default.to_string(),
+        }
+    }
+    fn f64_or(&self, key: &str, default: f64) -> f64 {
+        match self.get(key) {
+            Some(Json::Num(n)) => *n,
+            _ => default,
+        }
+    }
+    fn u64_or(&self, key: &str, default: u64) -> u64 {
+        self.f64_or(key, default as f64) as u64
+    }
+}
+
+struct Parser<'a> {
+    s: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn ws(&mut self) {
+        while self.at < self.s.len() && self.s[self.at].is_ascii_whitespace() {
+            self.at += 1;
+        }
+    }
+
+    fn eat(&mut self, c: u8) -> Result<(), String> {
+        self.ws();
+        if self.s.get(self.at) == Some(&c) {
+            self.at += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected {:?} at byte {} (found {:?})",
+                c as char,
+                self.at,
+                self.s.get(self.at).map(|b| *b as char)
+            ))
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.ws();
+        self.s.get(self.at).copied()
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.lit("true", Json::Bool(true)),
+            Some(b'f') => self.lit("false", Json::Bool(false)),
+            Some(b'n') => self.lit("null", Json::Null),
+            Some(_) => self.number(),
+            None => Err("unexpected end of input".into()),
+        }
+    }
+
+    fn lit(&mut self, word: &str, v: Json) -> Result<Json, String> {
+        self.ws();
+        if self.s[self.at..].starts_with(word.as_bytes()) {
+            self.at += word.len();
+            Ok(v)
+        } else {
+            Err(format!("expected {word} at byte {}", self.at))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        self.ws();
+        let start = self.at;
+        while self
+            .s
+            .get(self.at)
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.at += 1;
+        }
+        std::str::from_utf8(&self.s[start..self.at])
+            .ok()
+            .and_then(|t| t.parse::<f64>().ok())
+            .map(Json::Num)
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.s.get(self.at) {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.at += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.at += 1;
+                    match self.s.get(self.at) {
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .s
+                                .get(self.at + 1..self.at + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or("bad \\u escape")?;
+                            out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                            self.at += 4;
+                        }
+                        Some(&c) => out.push(c as char),
+                        None => return Err("unterminated escape".into()),
+                    }
+                    self.at += 1;
+                }
+                Some(&c) => {
+                    // Multi-byte UTF-8: copy the whole scalar.
+                    let len = match c {
+                        c if c < 0x80 => 1,
+                        c if c >= 0xf0 => 4,
+                        c if c >= 0xe0 => 3,
+                        _ => 2,
+                    };
+                    let chunk = self
+                        .s
+                        .get(self.at..self.at + len)
+                        .and_then(|b| std::str::from_utf8(b).ok())
+                        .ok_or("bad UTF-8 in string")?;
+                    out.push_str(chunk);
+                    self.at += len;
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.eat(b'[')?;
+        let mut out = Vec::new();
+        if self.peek() == Some(b']') {
+            self.at += 1;
+            return Ok(Json::Arr(out));
+        }
+        loop {
+            out.push(self.value()?);
+            match self.peek() {
+                Some(b',') => self.at += 1,
+                Some(b']') => {
+                    self.at += 1;
+                    return Ok(Json::Arr(out));
+                }
+                other => return Err(format!("expected , or ] in array, found {other:?}")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.eat(b'{')?;
+        let mut out = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.at += 1;
+            return Ok(Json::Obj(out));
+        }
+        loop {
+            let key = self.string()?;
+            self.eat(b':')?;
+            out.push((key, self.value()?));
+            match self.peek() {
+                Some(b',') => self.at += 1,
+                Some(b'}') => {
+                    self.at += 1;
+                    return Ok(Json::Obj(out));
+                }
+                other => return Err(format!("expected , or }} in object, found {other:?}")),
+            }
+        }
+    }
+}
+
+fn parse_value(raw: &str) -> Result<Json, String> {
+    let mut p = Parser {
+        s: raw.as_bytes(),
+        at: 0,
+    };
+    let v = p.value()?;
+    p.ws();
+    if p.at != p.s.len() {
+        return Err(format!("trailing content at byte {}", p.at));
+    }
+    Ok(v)
+}
+
+/// Parse a `BENCH_core.json` document. Unknown fields are ignored; missing
+/// fields fall back to zero/empty so older documents stay readable.
+pub fn baseline_from_json(raw: &str) -> Result<BenchBaseline, String> {
+    let v = parse_value(raw)?;
+    let entries = match v.get("entries") {
+        Some(Json::Arr(list)) => list
+            .iter()
+            .map(|e| BenchEntry {
+                name: e.str_or("name", ""),
+                config: e.str_or("config", ""),
+                workloads: match e.get("workloads") {
+                    Some(Json::Arr(ws)) => ws
+                        .iter()
+                        .filter_map(|w| match w {
+                            Json::Str(s) => Some(s.clone()),
+                            _ => None,
+                        })
+                        .collect(),
+                    _ => Vec::new(),
+                },
+                warps: e.u64_or("warps", 0) as u32,
+                iters: e.u64_or("iters", 0) as u32,
+                reps: e.u64_or("reps", 0) as u32,
+                sim_cycles: e.u64_or("sim_cycles", 0),
+                wall_ns: e.u64_or("wall_ns", 0),
+                cycles_per_sec: e.f64_or("cycles_per_sec", 0.0),
+                stage_idle: match e.get("stage_idle") {
+                    Some(Json::Arr(ss)) => ss
+                        .iter()
+                        .map(|s| StageIdle {
+                            stage: s.str_or("stage", ""),
+                            idle_frac: s.f64_or("idle_frac", 0.0),
+                            skip_frac: s.f64_or("skip_frac", 0.0),
+                            wall_frac: s.f64_or("wall_frac", 0.0),
+                        })
+                        .collect(),
+                    _ => Vec::new(),
+                },
+            })
+            .collect(),
+        _ => Vec::new(),
+    };
+    Ok(BenchBaseline {
+        schema_version: v.u64_or("schema_version", 0) as u32,
+        git_rev: v.str_or("git_rev", "unknown"),
+        entries,
+    })
+}
+
+/// Parse a `BENCH_check.json` document (round-trip coverage for the check
+/// artifact CI uploads).
+pub fn check_from_json(raw: &str) -> Result<CheckOutcome, String> {
+    let v = parse_value(raw)?;
+    let entries = match v.get("entries") {
+        Some(Json::Arr(list)) => list
+            .iter()
+            .map(|e| EntryCheck {
+                name: e.str_or("name", ""),
+                baseline_cycles_per_sec: e.f64_or("baseline_cycles_per_sec", 0.0),
+                current_cycles_per_sec: e.f64_or("current_cycles_per_sec", 0.0),
+                ratio: e.f64_or("ratio", f64::INFINITY),
+                sim_cycles_match: matches!(e.get("sim_cycles_match"), Some(Json::Bool(true))),
+                ok: matches!(e.get("ok"), Some(Json::Bool(true))),
+            })
+            .collect(),
+        _ => Vec::new(),
+    };
+    Ok(CheckOutcome {
+        schema_version: v.u64_or("schema_version", 0) as u32,
+        tolerance: v.f64_or("tolerance", 0.0),
+        baseline_git_rev: v.str_or("baseline_git_rev", "unknown"),
+        current_git_rev: v.str_or("current_git_rev", "unknown"),
+        bootstrap: matches!(v.get("bootstrap"), Some(Json::Bool(true))),
+        entries,
+        ok: matches!(v.get("ok"), Some(Json::Bool(true))),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::BENCH_SCHEMA_VERSION;
+
+    fn doc() -> BenchBaseline {
+        BenchBaseline {
+            schema_version: BENCH_SCHEMA_VERSION,
+            git_rev: "abc123def456".to_string(),
+            entries: vec![BenchEntry {
+                name: "fig7_small".to_string(),
+                config: "ndp_dynamic_cache".to_string(),
+                workloads: vec!["VADD".to_string(), "BFS".to_string()],
+                warps: 64,
+                iters: 4,
+                reps: 3,
+                sim_cycles: 1_234_567,
+                wall_ns: 987_654_321,
+                cycles_per_sec: 1_249_999.5,
+                stage_idle: vec![StageIdle {
+                    stage: "edge:sm_out".to_string(),
+                    idle_frac: 0.25,
+                    skip_frac: 0.5,
+                    wall_frac: 0.125,
+                }],
+            }],
+        }
+    }
+
+    #[test]
+    fn baseline_round_trips() {
+        let d = doc();
+        let json = baseline_to_json(&d);
+        let back = baseline_from_json(&json).expect("parse");
+        assert_eq!(back, d);
+    }
+
+    #[test]
+    fn check_round_trips() {
+        let o = CheckOutcome {
+            schema_version: BENCH_SCHEMA_VERSION,
+            tolerance: 0.15,
+            baseline_git_rev: "aaa".to_string(),
+            current_git_rev: "bbb".to_string(),
+            bootstrap: false,
+            entries: vec![EntryCheck {
+                name: "fig7_small".to_string(),
+                baseline_cycles_per_sec: 100.0,
+                current_cycles_per_sec: 550.0,
+                ratio: 5.5,
+                sim_cycles_match: true,
+                ok: true,
+            }],
+            ok: true,
+        };
+        let back = check_from_json(&check_to_json(&o)).expect("parse");
+        assert_eq!(back, o);
+    }
+
+    #[test]
+    fn bootstrap_document_parses() {
+        // The committed pre-measurement shape: a note field (ignored),
+        // empty entries.
+        let raw =
+            r#"{ "note": "bootstrap", "schema_version": 1, "git_rev": "unseeded", "entries": [] }"#;
+        let d = baseline_from_json(raw).expect("parse");
+        assert!(d.entries.is_empty());
+        assert_eq!(d.git_rev, "unseeded");
+    }
+
+    #[test]
+    fn malformed_input_is_an_error() {
+        assert!(baseline_from_json("{ \"entries\": [").is_err());
+        assert!(baseline_from_json("not json").is_err());
+        assert!(baseline_from_json("{} trailing").is_err());
+    }
+}

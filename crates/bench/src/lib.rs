@@ -9,6 +9,7 @@
 #![forbid(unsafe_code)]
 
 pub mod baseline;
+pub mod jsonio;
 
 use ndp_core::experiments::{run_matrix, Matrix, DEFAULT_MAX_CYCLES};
 use ndp_core::result::RunResult;

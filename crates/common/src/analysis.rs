@@ -85,6 +85,24 @@ pub struct CreditPoolSpec {
     pub release: &'static str,
 }
 
+/// Quiescence declaration of one skippable tick stage: the component node
+/// it advances and the in-edges whose deliveries its work horizon
+/// observes. The event-driven core may skip a stage only while its
+/// horizon says "no work"; that is sound only if every path by which work
+/// can *arrive* at the component is visible to the horizon. A stage that
+/// fails to watch one of its node's in-edges could sleep through a
+/// delivery — a statically detectable progress bug.
+#[derive(Debug, Clone)]
+pub struct SkipSpec {
+    /// Pipeline stage name (e.g. `tick:stacks`).
+    pub stage: &'static str,
+    /// The [`GraphNode`] this stage ticks.
+    pub node: &'static str,
+    /// Edge names whose deliveries the stage's quiescence horizon sees
+    /// (via the occupancy of the queues those edges fill).
+    pub watches: Vec<&'static str>,
+}
+
 /// The machine's communication structure as a static graph.
 #[derive(Debug, Clone, Default)]
 pub struct FabricGraph {
@@ -95,6 +113,10 @@ pub struct FabricGraph {
     /// reservation points, side-channel stages). Pool acquire/release
     /// fields must name one of these.
     pub sites: Vec<&'static str>,
+    /// Quiescence declarations of the skippable tick stages. Empty means
+    /// the pipeline predates (or opts out of) event-driven skipping and
+    /// the quiescence check vacuously passes.
+    pub skip_specs: Vec<SkipSpec>,
 }
 
 /// One finding of [`FabricGraph::check`], naming the check family and the
@@ -131,6 +153,18 @@ impl FabricGraph {
         self.sites.len() != before
     }
 
+    /// Remove one watched edge from a stage's quiescence declaration;
+    /// `true` if it was present. Mutation-test hook: the resulting graph
+    /// must fail [`FabricGraph::check`] with a `quiescence` diagnostic.
+    pub fn remove_watch(&mut self, stage: &str, edge: &str) -> bool {
+        let Some(spec) = self.skip_specs.iter_mut().find(|s| s.stage == stage) else {
+            return false;
+        };
+        let before = spec.watches.len();
+        spec.watches.retain(|w| *w != edge);
+        spec.watches.len() != before
+    }
+
     /// Run every static check; an empty result means the graph is
     /// well-formed.
     pub fn check(&self) -> Vec<GraphDiag> {
@@ -145,7 +179,48 @@ impl FabricGraph {
         self.check_dead_ends(&mut diags);
         self.check_credits(&mut diags);
         self.check_wait_cycles(&mut diags);
+        self.check_quiescence(&mut diags);
         diags
+    }
+
+    /// Quiescence soundness of the event-driven core: every declared
+    /// skippable tick stage must reference a real node, watch only real
+    /// edges, and watch *every* in-edge of its node — an unwatched arrival
+    /// path means the skip logic could sleep through a delivery and stall
+    /// a live machine.
+    fn check_quiescence(&self, diags: &mut Vec<GraphDiag>) {
+        for spec in &self.skip_specs {
+            if self.node(spec.node).is_none() {
+                diags.push(GraphDiag {
+                    check: "quiescence",
+                    detail: format!(
+                        "skip spec for stage {:?} ticks unknown node {:?}",
+                        spec.stage, spec.node
+                    ),
+                });
+                continue;
+            }
+            for w in &spec.watches {
+                if !self.edges.iter().any(|e| e.name == *w) {
+                    diags.push(GraphDiag {
+                        check: "quiescence",
+                        detail: format!("stage {:?} watches unknown edge {:?}", spec.stage, w),
+                    });
+                }
+            }
+            for e in self.edges.iter().filter(|e| e.to == spec.node) {
+                if !spec.watches.contains(&e.name) {
+                    diags.push(GraphDiag {
+                        check: "quiescence",
+                        detail: format!(
+                            "skippable stage {:?} does not watch in-edge {:?} of {:?} — \
+                             a packet delivered there could be slept through",
+                            spec.stage, e.name, spec.node
+                        ),
+                    });
+                }
+            }
+        }
     }
 
     fn check_structure(&self, diags: &mut Vec<GraphDiag>) {
@@ -355,6 +430,7 @@ mod tests {
                 release: "credits",
             }],
             sites: vec!["reserve", "credits"],
+            skip_specs: vec![],
         }
     }
 
@@ -409,6 +485,68 @@ mod tests {
             .find(|d| d.check == "wait-cycle")
             .expect("cycle reported");
         assert!(cyc.detail.contains("a -> b -> a") || cyc.detail.contains("b -> a -> b"));
+    }
+
+    fn with_specs(mut g: FabricGraph) -> FabricGraph {
+        g.skip_specs = vec![
+            SkipSpec {
+                stage: "tick:a",
+                node: "a",
+                watches: vec!["bwd"],
+            },
+            SkipSpec {
+                stage: "tick:b",
+                node: "b",
+                watches: vec!["fwd"],
+            },
+        ];
+        g
+    }
+
+    #[test]
+    fn complete_skip_specs_are_clean() {
+        assert_eq!(with_specs(tiny()).check(), vec![]);
+    }
+
+    #[test]
+    fn unwatched_in_edge_is_a_quiescence_bug() {
+        let mut g = with_specs(tiny());
+        assert!(g.remove_watch("tick:b", "fwd"));
+        assert!(
+            !g.remove_watch("tick:b", "fwd"),
+            "second removal is a no-op"
+        );
+        let diags = g.check();
+        assert!(
+            diags.iter().any(|d| d.check == "quiescence"
+                && d.detail.contains("tick:b")
+                && d.detail.contains("fwd")),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn skip_spec_endpoints_must_exist() {
+        let mut g = with_specs(tiny());
+        g.skip_specs.push(SkipSpec {
+            stage: "tick:ghost",
+            node: "ghost",
+            watches: vec![],
+        });
+        g.skip_specs[0].watches.push("no_such_edge");
+        let diags = g.check();
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.check == "quiescence" && d.detail.contains("unknown node")),
+            "{diags:?}"
+        );
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.check == "quiescence" && d.detail.contains("no_such_edge")),
+            "{diags:?}"
+        );
     }
 
     #[test]

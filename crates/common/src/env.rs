@@ -141,6 +141,14 @@ pub const KNOWN: &[(&str, &str)] = &[
         "NDP_PERF_TOL",
         "bench_baseline --check: allowed throughput regression fraction (f64, default 0.15)",
     ),
+    (
+        "NDP_NO_SKIP",
+        "disable quiescence-aware stage skipping and next-event jumps (flag)",
+    ),
+    (
+        "NDP_PARALLEL",
+        "tick stack/NSU interiors on scoped threads within each cycle (flag)",
+    ),
 ];
 
 /// `NDP_`-prefixed variables set in the process environment that are not in
@@ -236,6 +244,23 @@ mod tests {
             .expect("typoed perf knob reported");
         assert_eq!(hit.1, Some("NDP_PERF_STRIDE"));
         std::env::remove_var("NDP_PERF_STRIDES");
+    }
+
+    #[test]
+    fn typo_detection_covers_event_core_knobs() {
+        // The event-driven-core surface is registered: the real names are
+        // known (not typos), and a misspelled knob suggests the real one.
+        for k in ["NDP_NO_SKIP", "NDP_PARALLEL"] {
+            assert!(KNOWN.iter().any(|(n, _)| *n == k), "{k} unregistered");
+        }
+        std::env::set_var("NDP_PARALEL", "1");
+        let unknown = unknown_ndp_vars();
+        let hit = unknown
+            .iter()
+            .find(|(name, _)| name == "NDP_PARALEL")
+            .expect("typoed event-core knob reported");
+        assert_eq!(hit.1, Some("NDP_PARALLEL"));
+        std::env::remove_var("NDP_PARALEL");
     }
 
     #[test]

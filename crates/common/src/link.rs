@@ -134,11 +134,31 @@ impl Link {
     pub fn is_idle(&self) -> bool {
         self.queue.is_empty() && self.flight.is_empty()
     }
+
+    /// Delivery cycle of the oldest in-flight packet, `None` when nothing
+    /// has finished serializing. Flights deliver in FIFO order, so this is
+    /// the earliest cycle at which [`Link::pop_ready`] can succeed — the
+    /// receive-side quiescence horizon (the serializer queue is the
+    /// tick-side horizon, [`Component::next_work_at`]).
+    pub fn next_delivery_at(&self) -> Option<Cycle> {
+        self.flight.front().map(|&(ready, _)| ready)
+    }
 }
 
 impl Component for Link {
     fn tick(&mut self, now: Cycle) {
         Link::tick(self, now);
+    }
+
+    // `tick` with an empty serializer queue is a pure no-op (early return
+    // before any accounting), so skipped cycles need no `note_skipped`
+    // replay and the horizon is simply queue occupancy.
+    fn next_work_at(&self, now: Cycle) -> Option<Cycle> {
+        if self.queue.is_empty() {
+            None
+        } else {
+            Some(now)
+        }
     }
 }
 

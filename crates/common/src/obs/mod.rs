@@ -115,6 +115,15 @@ impl Obs {
         self.cfg.enabled && now.is_multiple_of(self.cfg.sample_interval.max(1))
     }
 
+    /// Earliest cycle at or after `now` with a sample due — the quiescence
+    /// horizon of the sampling side-channel. `None` when sampling is off.
+    pub fn next_sample_at(&self, now: Cycle) -> Option<Cycle> {
+        if !self.cfg.enabled {
+            return None;
+        }
+        Some(now.next_multiple_of(self.cfg.sample_interval.max(1)))
+    }
+
     /// Offer one occupancy sample to the named series (created on first
     /// use). Call once per series per due cycle.
     pub fn offer_sample(&mut self, name: &'static str, v: f64) {

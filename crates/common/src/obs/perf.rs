@@ -37,8 +37,11 @@ use serde::{Deserialize, Serialize};
 use crate::ids::Cycle;
 
 /// Version stamp of [`PerfReport`]'s serialized form, so downstream
-/// tooling (dashboards, `BENCH_core.json` diffing) can evolve.
-pub const PERF_SCHEMA_VERSION: u32 = 1;
+/// tooling (dashboards, `BENCH_core.json` diffing) can evolve. v2 added
+/// the `skipped` counter and `skip_frac` from the event-driven core: the
+/// per-stage accounting identity is now
+/// `invocations + gated + skipped == cycles`.
+pub const PERF_SCHEMA_VERSION: u32 = 2;
 
 /// Profiling knobs. `Default` is fully disabled.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -105,6 +108,9 @@ pub enum StageOutcome {
     Routed(u64),
     /// A component-tick or side-channel stage ran.
     Ticked,
+    /// The quiescence layer proved the stage had no work at this cycle
+    /// and skipped it without invoking it.
+    Skipped,
 }
 
 /// Live per-stage counters (internal; folded into [`StagePerf`]).
@@ -112,6 +118,9 @@ pub enum StageOutcome {
 struct StageCounters {
     invocations: u64,
     gated: u64,
+    /// Cycles the quiescence layer proved the stage workless (per-stage
+    /// skips plus whole-system next-event jumps).
+    skipped: u64,
     idle: u64,
     moved: u64,
     /// Invocations that were routing stages (`idle`'s denominator).
@@ -155,6 +164,11 @@ pub struct Perf {
     /// Counter snapshot at the previous heartbeat: (cycle, wall_ns,
     /// idle, routed).
     hb_prev: (u64, u64, u64, u64),
+    /// Next cycle at (or after) which a heartbeat is due. A watermark
+    /// rather than a `now % interval` test: next-event jumps can leap
+    /// straight over a boundary, and the beat must then fire on the first
+    /// executed cycle past it.
+    next_hb: u64,
 }
 
 impl Perf {
@@ -171,6 +185,7 @@ impl Perf {
             cfg,
             names: stage_names,
             stages,
+            next_hb: cfg.heartbeat_interval,
             ..Perf::default()
         }
     }
@@ -198,11 +213,10 @@ impl Perf {
         if self.sampling {
             self.mark = Some(Instant::now());
         }
-        if self.cfg.heartbeat_interval > 0
-            && now > 0
-            && now.is_multiple_of(self.cfg.heartbeat_interval)
-        {
+        if self.cfg.heartbeat_interval > 0 && now >= self.next_hb {
             self.heartbeat(now, start);
+            // Advance past `now` to the next interval boundary.
+            self.next_hb = (now / self.cfg.heartbeat_interval + 1) * self.cfg.heartbeat_interval;
         }
     }
 
@@ -219,6 +233,12 @@ impl Perf {
             // never timestamped (its time folds into the next stage).
             StageOutcome::Gated => {
                 c.gated += 1;
+                return;
+            }
+            // A quiescence skip is, like a gate skip, never timestamped:
+            // its whole point is to cost nothing.
+            StageOutcome::Skipped => {
+                c.skipped += 1;
                 return;
             }
             StageOutcome::Routed(n) => {
@@ -240,6 +260,20 @@ impl Perf {
                 self.mark = Some(t);
             }
         }
+    }
+
+    /// Account a next-event time jump for one stage: `gated` cycles were
+    /// leapt over with the stage's clock gate closed, `skipped` with it
+    /// open but provably workless. Keeps the per-stage identity
+    /// `invocations + gated + skipped == cycles` exact across jumps.
+    #[inline]
+    pub fn jump(&mut self, idx: usize, gated: u64, skipped: u64) {
+        if !self.cfg.enabled {
+            return;
+        }
+        let c = &mut self.stages[idx];
+        c.gated += gated;
+        c.skipped += skipped;
     }
 
     fn heartbeat(&mut self, now: Cycle, start: Instant) {
@@ -297,16 +331,23 @@ impl Perf {
                 } else {
                     0
                 };
+                let total = c.invocations + c.gated + c.skipped;
                 StagePerf {
                     name: name.clone(),
                     invocations: c.invocations,
                     gated: c.gated,
+                    skipped: c.skipped,
                     idle: c.idle,
                     moved: c.moved,
                     routed: c.routed,
                     est_wall_ns,
                     idle_frac: if c.routed > 0 {
                         c.idle as f64 / c.routed as f64
+                    } else {
+                        0.0
+                    },
+                    skip_frac: if total > 0 {
+                        c.skipped as f64 / total as f64
                     } else {
                         0.0
                     },
@@ -344,6 +385,9 @@ pub struct StagePerf {
     pub name: String,
     pub invocations: u64,
     pub gated: u64,
+    /// Cycles the quiescence layer skipped this stage (stage-level skips
+    /// plus next-event jumps with the stage's gate open).
+    pub skipped: u64,
     /// Routing-stage invocations that moved nothing.
     pub idle: u64,
     pub moved: u64,
@@ -354,6 +398,9 @@ pub struct StagePerf {
     pub est_wall_ns: u64,
     /// `idle / routed` (0 when the stage never routed).
     pub idle_frac: f64,
+    /// `skipped / (invocations + gated + skipped)` — the fraction of
+    /// simulated cycles the event-driven core never touched this stage.
+    pub skip_frac: f64,
     /// Share of the total estimated stage wall time.
     pub wall_frac: f64,
 }
@@ -399,14 +446,16 @@ impl PerfReport {
             self.sample_stride
         ));
         out.push_str(
-            "stage                    invoked     gated      idle  idle%      moved  est ms  wall%\n",
+            "stage                    invoked     gated   skipped  skip%      idle  idle%      moved  est ms  wall%\n",
         );
         for s in &self.stages {
             out.push_str(&format!(
-                "  {:<22} {:>8} {:>9} {:>9} {:>5.1} {:>10} {:>7.1} {:>5.1}\n",
+                "  {:<22} {:>8} {:>9} {:>9} {:>5.1} {:>9} {:>5.1} {:>10} {:>7.1} {:>5.1}\n",
                 s.name,
                 s.invocations,
                 s.gated,
+                s.skipped,
+                s.skip_frac * 100.0,
                 s.idle,
                 s.idle_frac * 100.0,
                 s.moved,
@@ -519,6 +568,58 @@ mod tests {
     }
 
     #[test]
+    fn skipped_cycles_account_exactly() {
+        // Per-stage skips and next-event jumps both land in `skipped`, and
+        // the identity invocations + gated + skipped == cycles holds.
+        let mut p = perf(PerfConfig::on());
+        p.cycle_begin(0);
+        p.stage(0, StageOutcome::Ticked);
+        p.stage(1, StageOutcome::Routed(2));
+        p.stage(2, StageOutcome::Gated);
+        p.cycle_begin(1);
+        p.stage(0, StageOutcome::Skipped);
+        p.stage(1, StageOutcome::Skipped);
+        p.stage(2, StageOutcome::Gated);
+        // A jump over cycles 2..10: stage 2's gate stayed closed for 5 of
+        // the 8 cycles, open-and-workless for 3.
+        for idx in 0..2 {
+            p.jump(idx, 0, 8);
+        }
+        p.jump(2, 5, 3);
+        let r = p.report(10);
+        for s in &r.stages {
+            assert_eq!(
+                s.invocations + s.gated + s.skipped,
+                10,
+                "{}: identity broken",
+                s.name
+            );
+        }
+        let tick = r.stage("tick:toy").unwrap();
+        assert_eq!(tick.skipped, 9);
+        assert!((tick.skip_frac - 0.9).abs() < 1e-12);
+        let side = r.stage("side:toy").unwrap();
+        assert_eq!((side.gated, side.skipped), (7, 3));
+        let table = r.table_text();
+        assert!(table.contains("skip%"), "{table}");
+    }
+
+    #[test]
+    fn heartbeat_fires_after_a_jump_over_the_boundary() {
+        let mut cfg = PerfConfig::on();
+        cfg.heartbeat_interval = 10;
+        let mut p = perf(cfg);
+        p.cycle_begin(0);
+        // Jump straight over the cycle-10 boundary; the first executed
+        // cycle after it must carry the beat.
+        p.cycle_begin(17);
+        p.cycle_begin(18);
+        let r = p.report(19);
+        assert_eq!(r.heartbeats.len(), 1);
+        assert_eq!(r.heartbeats[0].cycle, 17);
+    }
+
+    #[test]
     fn report_is_versioned_and_serializable() {
         let mut p = perf(PerfConfig::on());
         p.cycle_begin(0);
@@ -526,7 +627,7 @@ mod tests {
         let r = p.report(1);
         assert_eq!(r.schema_version, PERF_SCHEMA_VERSION);
         let json = serde_json::to_string(&r).unwrap();
-        assert!(json.contains("\"schema_version\":1"));
+        assert!(json.contains("\"schema_version\":2"));
         let back: PerfReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back.stages.len(), 3);
     }

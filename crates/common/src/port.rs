@@ -198,11 +198,38 @@ impl InPort {
     pub fn iter(&self) -> impl Iterator<Item = &(Cycle, Packet)> {
         self.q.iter()
     }
+
+    /// Ready cycle of the head entry, or `None` when empty. Because the
+    /// head gates everything behind it, this is exactly the earliest cycle
+    /// at which `pop_ready` can succeed — the port's quiescence horizon.
+    pub fn next_ready(&self) -> Option<Cycle> {
+        self.q.front().map(|&(ready, _)| ready)
+    }
 }
 
 /// A structural component advanced once per fabric cycle.
 pub trait Component {
     fn tick(&mut self, now: Cycle);
+
+    /// Quiescence horizon: the earliest cycle at or after `now` at which
+    /// ticking this component could do observable work. `None` means the
+    /// component is drained (no queued, in-flight, or scheduled work);
+    /// `Some(c)` with `c > now` means it is provably idle until `c`.
+    ///
+    /// The contract is *conservative*: a horizon may be earlier than the
+    /// true next-work cycle (a spurious wake costs one exact, idle tick)
+    /// but must never be later — the event-driven core skips ticks on its
+    /// strength. The default `Some(now)` ("work every cycle") opts a
+    /// component out of skipping entirely.
+    fn next_work_at(&self, now: Cycle) -> Option<Cycle> {
+        Some(now)
+    }
+
+    /// The fabric proved this component quiescent and elided `k`
+    /// consecutive ticks. Components whose `tick` unconditionally advances
+    /// internal clocks or accumulates statistics must replay that
+    /// bookkeeping here so a skipped run is bit-identical to a ticked one.
+    fn note_skipped(&mut self, _k: u64) {}
 }
 
 /// The machine a [`Fabric`] executes over: port lookup, the routing table,
@@ -265,9 +292,27 @@ pub trait FabricCtx {
     fn moved(&mut self, _now: Cycle, _tx: Self::Tx) {}
     /// Per-stage attribution hook: called exactly once per pipeline stage
     /// per [`Fabric::tick`], with the stage's index and what it did (ran,
-    /// was clock-gated, or routed N packets). The perf self-profiling
-    /// layer hangs off this; the default is a no-op.
+    /// was clock-gated, was skipped as quiescent, or routed N packets).
+    /// The perf self-profiling layer hangs off this; the default is a
+    /// no-op.
     fn stage_done(&mut self, _now: Cycle, _idx: usize, _outcome: StageOutcome) {}
+
+    /// Is quiescence-aware stage skipping on? When `false` (the default)
+    /// [`Fabric::tick`] runs every gate-open stage unconditionally and
+    /// never consults [`FabricCtx::stage_horizon`].
+    fn skip_enabled(&self) -> bool {
+        false
+    }
+
+    /// Quiescence horizon of pipeline stage `idx`: the earliest cycle at
+    /// or after `now` at which running the stage could do observable work
+    /// (`None` = the stage is drained). Same conservative contract as
+    /// [`Component::next_work_at`] — early is a harmless spurious wake,
+    /// late is a correctness bug. The default `Some(now)` makes every
+    /// stage "busy now", i.e. never skipped.
+    fn stage_horizon(&self, now: Cycle, _idx: usize) -> Option<Cycle> {
+        Some(now)
+    }
 }
 
 /// One edge of the routing table: a transmit port kind, plus the trace
@@ -387,9 +432,19 @@ pub struct Fabric<'a, C: FabricCtx> {
 
 impl<C: FabricCtx> Fabric<'_, C> {
     pub fn tick(&self, ctx: &mut C, now: Cycle) -> Result<(), SimError> {
+        let skip = ctx.skip_enabled();
         for (idx, stage) in self.stages.iter().enumerate() {
             if !ctx.gate_open(stage.gate, now) {
                 ctx.stage_done(now, idx, StageOutcome::Gated);
+                continue;
+            }
+            // Quiescence skip: a stage provably without work this cycle is
+            // elided. `stage_done(Skipped)` still fires so (a) the perf
+            // identity `invocations + gated + skipped == cycles` holds and
+            // (b) the ctx can replay any unconditional per-tick bookkeeping
+            // (see `Component::note_skipped`).
+            if skip && !matches!(ctx.stage_horizon(now, idx), Some(c) if c <= now) {
+                ctx.stage_done(now, idx, StageOutcome::Skipped);
                 continue;
             }
             match &stage.op {
@@ -496,6 +551,8 @@ mod tests {
         moves: usize,
         fail_route: bool,
         gate_closed: bool,
+        skip: bool,
+        horizon: Option<Cycle>,
         outcomes: Vec<(usize, StageOutcome)>,
     }
 
@@ -512,6 +569,8 @@ mod tests {
                 moves: 0,
                 fail_route: false,
                 gate_closed: false,
+                skip: false,
+                horizon: Some(0),
                 outcomes: Vec::new(),
             }
         }
@@ -576,6 +635,12 @@ mod tests {
         }
         fn stage_done(&mut self, _: Cycle, idx: usize, outcome: StageOutcome) {
             self.outcomes.push((idx, outcome));
+        }
+        fn skip_enabled(&self) -> bool {
+            self.skip
+        }
+        fn stage_horizon(&self, _: Cycle, _: usize) -> Option<Cycle> {
+            self.horizon
         }
     }
 
@@ -699,6 +764,72 @@ mod tests {
             ]
         );
         assert_eq!(toy.tx[0].len(), 1, "gated routing stage moved nothing");
+    }
+
+    #[test]
+    fn quiescent_stages_are_skipped_only_when_enabled() {
+        let stages = [
+            Stage {
+                gate: (),
+                op: Op::Tick(()),
+            },
+            Stage {
+                gate: (),
+                op: Op::Route(Edge { tx: (), site: SITE }),
+            },
+        ];
+        let fabric = Fabric { stages: &stages };
+
+        // Horizon in the future but skipping off: stages run normally.
+        let mut toy = Toy::new(1, 8);
+        toy.tx[0].push_back(pkt(1));
+        toy.horizon = Some(100);
+        fabric.tick(&mut toy, 0).unwrap();
+        assert_eq!(
+            toy.outcomes,
+            vec![(0, StageOutcome::Ticked), (1, StageOutcome::Routed(1))]
+        );
+
+        // Skipping on + future horizon: both stages report Skipped and the
+        // routing stage moves nothing.
+        let mut toy = Toy::new(1, 8);
+        toy.tx[0].push_back(pkt(1));
+        toy.skip = true;
+        toy.horizon = Some(100);
+        fabric.tick(&mut toy, 0).unwrap();
+        assert_eq!(
+            toy.outcomes,
+            vec![(0, StageOutcome::Skipped), (1, StageOutcome::Skipped)]
+        );
+        assert_eq!(toy.tx[0].len(), 1, "skipped routing stage moved nothing");
+
+        // Drained (`None`) also skips; a horizon that has arrived runs.
+        toy.outcomes.clear();
+        toy.horizon = None;
+        fabric.tick(&mut toy, 1).unwrap();
+        assert_eq!(toy.outcomes[0], (0, StageOutcome::Skipped));
+        toy.outcomes.clear();
+        toy.horizon = Some(2);
+        fabric.tick(&mut toy, 2).unwrap();
+        assert_eq!(
+            toy.outcomes,
+            vec![(0, StageOutcome::Ticked), (1, StageOutcome::Routed(1))]
+        );
+
+        // A closed gate wins over skipping: Gated, not Skipped.
+        toy.outcomes.clear();
+        toy.gate_closed = true;
+        fabric.tick(&mut toy, 3).unwrap();
+        assert_eq!(toy.outcomes[0], (0, StageOutcome::Gated));
+    }
+
+    #[test]
+    fn inport_next_ready_is_the_head_ready_cycle() {
+        let mut p = InPort::new(0, usize::MAX);
+        assert_eq!(p.next_ready(), None);
+        p.push_at(20, pkt(1));
+        p.push_at(5, pkt(2)); // behind the head: cannot pop before 20
+        assert_eq!(p.next_ready(), Some(20));
     }
 
     #[test]

@@ -16,11 +16,13 @@
 //! masks are the *specification* the routing table is diffed against, so
 //! they must not be computed from the routing code itself.
 
-use ndp_common::analysis::{kind_bit, CreditPoolSpec, FabricGraph, GraphEdge, GraphNode, KindMask};
+use ndp_common::analysis::{
+    kind_bit, CreditPoolSpec, FabricGraph, GraphEdge, GraphNode, KindMask, SkipSpec,
+};
 use ndp_common::config::SystemConfig;
 use ndp_common::port::{Op, Stage};
 
-use crate::system::{SideChannel, System, Tx};
+use crate::system::{Comp, SideChannel, System, Tx};
 
 /// Kind indices in [`Packet::KIND_NAMES`] order (guarded by a test).
 const READ_REQ: usize = 0;
@@ -196,6 +198,32 @@ fn edges_of(tx: Tx) -> Vec<GraphEdge> {
     }
 }
 
+/// The quiescence contract of one `Op::Tick` stage (DESIGN.md §12): which
+/// node it advances and which in-edges its `stage_horizon` accounting
+/// watches for new arrivals. `check_quiescence` diffs the watch list
+/// against the lifted edge set — an in-edge missing here means a packet
+/// could be delivered to a sleeping component and never wake it.
+fn skip_spec_of(c: Comp) -> SkipSpec {
+    let (stage, node, watches) = match c {
+        Comp::Sms => ("tick:sms", "sm", vec!["down_link_to_sm", "slice_to_sm"]),
+        Comp::Slices => ("tick:slices", "l2_slice", vec!["sm_out", "down_link"]),
+        Comp::UpLinks => ("tick:uplinks", "up_link", vec!["slice_to_mem"]),
+        Comp::Stacks => (
+            "tick:stacks",
+            "stack",
+            vec!["up_link", "net_delivered", "nsu_out"],
+        ),
+        Comp::Net => ("tick:net", "memnet", vec!["stack_to_memnet"]),
+        Comp::Nsus => ("tick:nsus", "nsu", vec!["stack_to_nsu"]),
+        Comp::DownLinks => ("tick:downlinks", "down_link", vec!["stack_to_gpu"]),
+    };
+    SkipSpec {
+        stage,
+        node,
+        watches,
+    }
+}
+
 /// Lift an arbitrary stage list. Separated from [`fabric_graph`] so tests
 /// can lift mutated pipelines.
 fn lift(cfg: &SystemConfig, stages: &[Stage<System>]) -> FabricGraph {
@@ -208,9 +236,10 @@ fn lift(cfg: &SystemConfig, stages: &[Stage<System>]) -> FabricGraph {
     g.sites.push(ACQUIRE_SITE);
     for st in stages {
         match &st.op {
+            Op::Tick(c) => g.skip_specs.push(skip_spec_of(*c)),
             Op::Route(e) => g.edges.extend(edges_of(e.tx)),
             Op::Side(SideChannel::Credits) => g.sites.push(RELEASE_SITE),
-            _ => {}
+            Op::Side(_) => {}
         }
     }
     for (name, capacity) in [
@@ -297,6 +326,40 @@ mod tests {
             diags
                 .iter()
                 .any(|d| d.check == "routing" && d.detail.contains("OffloadCmd")),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn every_tick_stage_has_a_skip_spec_with_perf_aligned_name() {
+        let g = fabric_graph(&SystemConfig::ndp_dynamic());
+        let names = crate::system::stage_names();
+        let ticks: Vec<_> = names.iter().filter(|n| n.starts_with("tick:")).collect();
+        assert_eq!(
+            g.skip_specs.len(),
+            ticks.len(),
+            "one quiescence spec per tick stage"
+        );
+        for spec in &g.skip_specs {
+            assert!(
+                ticks.iter().any(|n| n.as_str() == spec.stage),
+                "spec stage {:?} is not a perf tick label",
+                spec.stage
+            );
+        }
+    }
+
+    #[test]
+    fn forgetting_an_in_edge_watch_is_a_quiescence_bug() {
+        // A stack that doesn't watch the up link would sleep through GPU
+        // demand traffic arriving while it is quiescent.
+        let mut g = fabric_graph(&SystemConfig::ndp_dynamic());
+        assert!(g.remove_watch("tick:stacks", "up_link"));
+        let diags = g.check();
+        assert!(
+            diags.iter().any(|d| d.check == "quiescence"
+                && d.detail.contains("tick:stacks")
+                && d.detail.contains("up_link")),
             "{diags:?}"
         );
     }

@@ -199,6 +199,19 @@ impl OffloadController {
         }
     }
 
+    /// Next cycle at which [`Self::on_cycle`] has real work: the upcoming
+    /// epoch boundary for the dynamic policies, `None` for static policies
+    /// (whose `on_cycle` is a pure no-op — quiescence horizon of the ctrl
+    /// side-channel stage).
+    pub fn next_epoch_at(&self) -> Option<Cycle> {
+        match self.policy {
+            OffloadPolicy::Dynamic | OffloadPolicy::DynamicCacheAware => {
+                Some(self.hc.next_epoch_end)
+            }
+            _ => None,
+        }
+    }
+
     /// Current offload ratio (1.0 for Always, 0.0 for Never).
     pub fn current_ratio(&self) -> f64 {
         match self.policy {

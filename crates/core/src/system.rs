@@ -60,6 +60,17 @@ pub struct System {
     now: Cycle,
     ndp_on: bool,
     nsu_div: u64,
+    /// Event-driven stage skipping: quiescent stages report `Skipped`
+    /// instead of running, and `run_inner` jumps `now` over whole-system
+    /// idle spans. On by default; `NDP_NO_SKIP=1` (or
+    /// [`System::set_skip`]) forces exhaustive per-cycle ticking.
+    /// Results are bit-identical either way — only wall-clock changes.
+    skip: bool,
+    /// Tick the 8 stack interiors (and NSUs) on scoped threads between
+    /// fabric barriers. Off by default; `NDP_PARALLEL=1` or
+    /// [`System::set_parallel`]. Deterministic: each thread owns one
+    /// component and all cross-component traffic stays on fabric edges.
+    parallel: bool,
 }
 
 impl System {
@@ -188,7 +199,22 @@ impl System {
             now: 0,
             ndp_on,
             nsu_div,
+            skip: !ndp_common::env::flag_or_die("NDP_NO_SKIP").unwrap_or(false),
+            parallel: ndp_common::env::flag_or_die("NDP_PARALLEL").unwrap_or(false),
         })
+    }
+
+    /// Enable or disable quiescence-aware stage skipping and next-event
+    /// time jumps (overrides the `NDP_NO_SKIP` default). Skipping is an
+    /// execution strategy, not a model change: outcomes are bit-identical.
+    pub fn set_skip(&mut self, skip: bool) {
+        self.skip = skip;
+    }
+
+    /// Enable or disable parallel ticking of stack/NSU interiors between
+    /// fabric barriers (overrides the `NDP_PARALLEL` default).
+    pub fn set_parallel(&mut self, parallel: bool) {
+        self.parallel = parallel;
     }
 
     /// Override the watchdog threshold (`None` disables the watchdog).
@@ -328,7 +354,16 @@ impl System {
             stall: None,
         };
         while self.now < max_cycles {
-            self.try_tick()?;
+            if self.skip {
+                if let Some(j) = self.jump_target(max_cycles) {
+                    self.account_jump(j);
+                    self.now = j;
+                } else {
+                    self.try_tick()?;
+                }
+            } else {
+                self.try_tick()?;
+            }
             if self.now.is_multiple_of(256) {
                 if let Some(v) = self.invariants.first_violation() {
                     return Err(SimError::InvariantViolation {
@@ -358,6 +393,76 @@ impl System {
             self.check_conservation()?;
         }
         Ok(out)
+    }
+
+    /// Next-event jump target: `Some(j)` when *no* pipeline stage has work
+    /// at `now`, where `j > now` is the earliest cycle anything could
+    /// happen — the minimum stage horizon, capped at the next 256-cycle
+    /// check boundary (so invariant/done/watchdog checks run at exactly
+    /// the cycles a per-cycle run checks them) and at `max_cycles`.
+    /// `None` means some stage has work now: tick normally.
+    fn jump_target(&self, max_cycles: u64) -> Option<Cycle> {
+        let now = self.now;
+        let next_check = (now / 256 + 1) * 256;
+        let mut target = next_check.min(max_cycles);
+        for idx in 0..PIPELINE.len() {
+            match self.stage_horizon(now, idx) {
+                Some(c) if c <= now => return None,
+                Some(c) => target = target.min(c),
+                None => {}
+            }
+        }
+        Some(target)
+    }
+
+    /// Book the span `[self.now, j)` as elided: per-stage perf accounting
+    /// (`gated` for closed NSU-clock cycles, `skipped` otherwise) and
+    /// component stat replay via `note_skipped`, exactly as if each cycle
+    /// had been ticked and every stage had reported Gated/Skipped.
+    fn account_jump(&mut self, j: Cycle) {
+        let now = self.now;
+        let span = j - now;
+        // Open NSU-clock cycles in [now, j): multiples of nsu_div.
+        let open = if self.ndp_on {
+            j.div_ceil(self.nsu_div) - now.div_ceil(self.nsu_div)
+        } else {
+            0
+        };
+        for (idx, stage) in PIPELINE.iter().enumerate() {
+            let (gated, skipped) = match stage.gate {
+                Gate::Always => (0, span),
+                Gate::NsuClock => (span - open, open),
+            };
+            self.perf.jump(idx, gated, skipped);
+            if skipped > 0 {
+                self.note_stage_skipped(idx, skipped);
+            }
+        }
+    }
+
+    /// Replay `k` skipped invocations of stage `idx` into the components
+    /// whose per-cycle tick has observable idle effects (SM stall stats,
+    /// stack clock-domain crossing, NSU tick counters). Every other
+    /// stage's idle tick is a pure no-op.
+    fn note_stage_skipped(&mut self, idx: usize, k: u64) {
+        match &PIPELINE[idx].op {
+            Op::Tick(Comp::Sms) => {
+                for sm in &mut self.sms {
+                    sm.note_skipped(k);
+                }
+            }
+            Op::Tick(Comp::Stacks) => {
+                for st in &mut self.stacks {
+                    Component::note_skipped(st, k);
+                }
+            }
+            Op::Tick(Comp::Nsus) => {
+                for n in &mut self.nsus {
+                    n.note_skipped(k);
+                }
+            }
+            _ => {}
+        }
     }
 
     /// Drained-system conservation: protocol counters balance and every
@@ -703,7 +808,7 @@ const fn stage(op: Op<System>) -> Stage<System> {
 /// Display names for the PIPELINE stages, index-aligned with the stage
 /// list — the perf layer's attribution labels (`tick:sms`, `edge:sm_out`,
 /// `side:credits`, ...).
-fn stage_names() -> Vec<String> {
+pub(crate) fn stage_names() -> Vec<String> {
     PIPELINE
         .iter()
         .map(|s| match &s.op {
@@ -897,14 +1002,27 @@ impl FabricCtx for System {
     }
 
     fn tick_comp(&mut self, now: Cycle, comp: Comp) {
+        // Per-component skip: a stage runs whenever *any* member has work,
+        // but members that are individually quiescent take the (cheaper)
+        // `note_skipped` path instead of a full tick. Same conservative
+        // horizon contract as stage-level skipping, at member granularity.
+        let skip = self.skip;
         match comp {
             Comp::Sms => {
                 for sm in &mut self.sms {
-                    sm.tick(now, &mut self.ctrl);
+                    if skip && sm.next_work_at(now).is_none_or(|c| c > now) {
+                        sm.note_skipped(1);
+                    } else {
+                        sm.tick(now, &mut self.ctrl);
+                    }
                 }
             }
             Comp::Slices => {
                 for s in &mut self.slices {
+                    if skip && Component::next_work_at(s, now).is_none_or(|c| c > now) {
+                        Component::note_skipped(s, 1);
+                        continue;
+                    }
                     Component::tick(s, now);
                     for (block, hit) in s.block_events.drain(..) {
                         self.ctrl.note_l2_event(block, hit);
@@ -913,23 +1031,78 @@ impl FabricCtx for System {
             }
             Comp::UpLinks => {
                 for l in &mut self.up {
-                    Component::tick(l, now);
+                    if skip && Component::next_work_at(l, now).is_none_or(|c| c > now) {
+                        Component::note_skipped(l, 1);
+                    } else {
+                        Component::tick(l, now);
+                    }
                 }
             }
+            // Stack interiors (and NSUs, below) are independent between
+            // fabric barriers: each owns its vaults/slots outright and all
+            // cross-component traffic rides fabric edges, so ticking them
+            // on scoped threads is deterministic by construction. The
+            // ISSUE sketched this with rayon; the offline build has no
+            // rayon, so `std::thread::scope` (stable std) stands in.
             Comp::Stacks => {
-                for st in &mut self.stacks {
-                    Component::tick(st, now);
+                let work_now =
+                    |st: &HmcStack| !skip || Component::next_work_at(st, now) == Some(now);
+                if self.parallel && self.stacks.iter().filter(|s| s.busy()).count() >= 2 {
+                    std::thread::scope(|sc| {
+                        for st in &mut self.stacks {
+                            if work_now(st) {
+                                sc.spawn(move || Component::tick(st, now));
+                            } else {
+                                Component::note_skipped(st, 1);
+                            }
+                        }
+                    });
+                } else {
+                    for st in &mut self.stacks {
+                        if work_now(st) {
+                            Component::tick(st, now);
+                        } else {
+                            Component::note_skipped(st, 1);
+                        }
+                    }
                 }
             }
             Comp::Net => Component::tick(&mut self.net, now),
             Comp::Nsus => {
-                for n in &mut self.nsus {
-                    Component::tick(n, now);
+                // `Comp::Nsus` only runs on open NSU-clock cycles, so the
+                // member-level probe is in the NSU's own domain: delta 0 =
+                // work on this open cycle.
+                let work_now = |n: &Nsu| !skip || n.next_work_delta() == Some(0);
+                if self.parallel && self.nsus.iter().filter(|n| n.busy()).count() >= 2 {
+                    std::thread::scope(|sc| {
+                        for n in &mut self.nsus {
+                            if work_now(n) {
+                                sc.spawn(move || Component::tick(n, now));
+                            } else {
+                                // Inherent method: replays the NSU clock and
+                                // occupancy accounting (the Component default
+                                // is a no-op).
+                                n.note_skipped(1);
+                            }
+                        }
+                    });
+                } else {
+                    for n in &mut self.nsus {
+                        if work_now(n) {
+                            Component::tick(n, now);
+                        } else {
+                            n.note_skipped(1);
+                        }
+                    }
                 }
             }
             Comp::DownLinks => {
                 for l in &mut self.down {
-                    Component::tick(l, now);
+                    if skip && Component::next_work_at(l, now).is_none_or(|c| c > now) {
+                        Component::note_skipped(l, 1);
+                    } else {
+                        Component::tick(l, now);
+                    }
                 }
             }
         }
@@ -1012,7 +1185,106 @@ impl FabricCtx for System {
     }
 
     fn stage_done(&mut self, _now: Cycle, idx: usize, outcome: StageOutcome) {
+        if matches!(outcome, StageOutcome::Skipped) {
+            self.note_stage_skipped(idx, 1);
+        }
         self.perf.stage(idx, outcome);
+    }
+
+    fn skip_enabled(&self) -> bool {
+        self.skip
+    }
+
+    /// Quiescence horizon of one pipeline stage: earliest cycle ≥ `now` at
+    /// which the stage could do real work, `None` if no future work is
+    /// reachable without new input. Conservative: may report earlier than
+    /// the true next event (spurious run = exact idle tick), never later.
+    ///
+    /// NSU-clock stages align their horizon up to the next open divided
+    /// cycle, and report `None` outright when NDP is off (gate never
+    /// opens) — this makes the same function valid both mid-tick (where
+    /// the gate is already known open) and from [`System::jump_target`]
+    /// at arbitrary cycles.
+    fn stage_horizon(&self, now: Cycle, idx: usize) -> Option<Cycle> {
+        fn min_over(it: impl Iterator<Item = Option<Cycle>>) -> Option<Cycle> {
+            it.flatten().min()
+        }
+        let nsu_open = |d: u64| {
+            if self.ndp_on {
+                Some(now.next_multiple_of(self.nsu_div) + d * self.nsu_div)
+            } else {
+                None
+            }
+        };
+        match &PIPELINE[idx].op {
+            Op::Tick(c) => match c {
+                Comp::Sms => min_over(self.sms.iter().map(|s| s.next_work_at(now))),
+                Comp::Slices => {
+                    min_over(self.slices.iter().map(|s| Component::next_work_at(s, now)))
+                }
+                Comp::UpLinks => min_over(self.up.iter().map(|l| Component::next_work_at(l, now))),
+                Comp::Stacks => {
+                    min_over(self.stacks.iter().map(|s| Component::next_work_at(s, now)))
+                }
+                Comp::Net => Component::next_work_at(&self.net, now),
+                Comp::Nsus => min_over(
+                    self.nsus
+                        .iter()
+                        .map(|n| n.next_work_delta().and_then(&nsu_open)),
+                ),
+                Comp::DownLinks => {
+                    min_over(self.down.iter().map(|l| Component::next_work_at(l, now)))
+                }
+            },
+            // Edge horizons are occupancy-driven: a queued head means work
+            // now; latency-stamped lanes (links, the slice→SM return path)
+            // expose their earliest ready cycle instead.
+            Op::Route(e) => match e.tx {
+                Tx::SmOut => self.sms.iter().any(|s| !s.out.is_empty()).then_some(now),
+                Tx::SliceToMem => self
+                    .slices
+                    .iter()
+                    .any(|s| !s.to_mem.is_empty())
+                    .then_some(now),
+                Tx::UpLink => min_over(self.up.iter().map(|l| l.next_delivery_at())),
+                Tx::StackToMemnet => self
+                    .stacks
+                    .iter()
+                    .any(|s| !s.to_memnet.is_empty())
+                    .then_some(now),
+                Tx::StackToNsu => self
+                    .stacks
+                    .iter()
+                    .any(|s| !s.to_nsu.is_empty())
+                    .then_some(now),
+                Tx::StackToGpu => self
+                    .stacks
+                    .iter()
+                    .any(|s| !s.to_gpu.is_empty())
+                    .then_some(now),
+                Tx::NetDelivered => self.net.has_delivered().then_some(now),
+                Tx::NsuOut => {
+                    if self.nsus.iter().any(|n| !n.out.is_empty()) {
+                        nsu_open(0)
+                    } else {
+                        None
+                    }
+                }
+                Tx::DownLink => min_over(self.down.iter().map(|l| l.next_delivery_at())),
+                Tx::SliceToSm => min_over(self.slices.iter().map(|s| s.to_sm.next_ready())),
+            },
+            Op::Side(s) => match s {
+                SideChannel::Credits => {
+                    if self.nsus.iter().any(|n| n.has_pending_credits()) {
+                        nsu_open(0)
+                    } else {
+                        None
+                    }
+                }
+                SideChannel::Ctrl => self.ctrl.next_epoch_at(),
+                SideChannel::Sample => self.obs.next_sample_at(now),
+            },
+        }
     }
 }
 

@@ -159,6 +159,13 @@ impl<T> VaultController<T> {
         }
         None
     }
+
+    /// Completion cycle of the earliest scheduled request still in flight,
+    /// `None` when nothing is scheduled (quiescence horizon of a vault with
+    /// an empty request queue).
+    pub fn next_done_at(&self) -> Option<u64> {
+        self.done.peek().map(|d| d.at)
+    }
 }
 
 #[cfg(test)]

@@ -22,7 +22,7 @@ use ndp_common::packet::{LineAccess, Packet, PacketKind};
 use ndp_common::port::OutPort;
 use ndp_common::stats::{IssueStats, NoIssue};
 use ndp_compiler::CompiledKernel;
-use ndp_isa::exec::{Step, WarpExec};
+use ndp_isa::exec::{StepLite, WarpExec};
 use ndp_isa::instr::MemSpace;
 use ndp_isa::offload::InstrRole;
 use ndp_isa::program::Item;
@@ -376,10 +376,10 @@ impl Sm {
         let kernel = Arc::clone(&self.kernel);
         let program = &kernel.program;
         let slot = self.slots[slot_idx].as_mut().expect("checked");
-        let step = slot.exec.current(program);
+        let step = slot.exec.current_lite(program);
 
         // Warp finished?
-        if matches!(step, Step::Done) {
+        if matches!(step, StepLite::Done) {
             self.finish_warp(slot_idx);
             return IssueResult::Idle;
         }
@@ -433,12 +433,12 @@ impl Sm {
             .unwrap_or(None);
 
         match step {
-            Step::Done => unreachable!(),
-            Step::Barrier { .. } => {
+            StepLite::Done => unreachable!(),
+            StepLite::Barrier { .. } => {
                 // Barriers are outside offload blocks by construction.
                 slot.state = WState::Barrier;
                 let cta = slot.cta;
-                slot.exec.step(program);
+                slot.exec.advance(program);
                 let arrived = self.barrier_arrived.entry(cta).or_insert(0);
                 *arrived += 1;
                 if *arrived >= *self.cta_alive.get(&cta).unwrap_or(&0) {
@@ -451,11 +451,11 @@ impl Sm {
                 }
                 IssueResult::Issued
             }
-            Step::Alu { op, dst, idx } => {
+            StepLite::Alu { op, dst, idx } => {
                 match role {
                     Some(InstrRole::AtNsu) => {
                         // NOP on the GPU: consumes an issue slot only.
-                        slot.exec.step(program);
+                        slot.exec.advance(program);
                         self.block_instrs += 1;
                         self.after_instr(now, slot_idx, idx, env);
                         IssueResult::Issued
@@ -475,7 +475,7 @@ impl Sm {
                         }
                         *unit -= 1;
                         let slot = self.slots[slot_idx].as_mut().expect("checked");
-                        slot.exec.step(program);
+                        slot.exec.advance(program);
                         slot.reg_ready[dst.0 as usize] = now + lat as Cycle;
                         if self.kernel.role_map[idx].is_some() {
                             self.block_instrs += 1;
@@ -485,12 +485,11 @@ impl Sm {
                     }
                 }
             }
-            Step::Load {
+            StepLite::Load {
                 idx,
                 dst,
                 space,
-                addrs,
-                active,
+                addr,
             } => {
                 if *lsu_free == 0 {
                     return IssueResult::ExecBusy;
@@ -502,12 +501,12 @@ impl Sm {
                     // Scratchpad/constant: fixed-latency on-chip access.
                     *lsu_free -= 1;
                     let slot = self.slots[slot_idx].as_mut().expect("checked");
-                    slot.exec.step(program);
+                    slot.exec.advance(program);
                     slot.reg_ready[dst.0 as usize] = now + self.cfg.shared_lat as Cycle;
                     self.after_instr(now, slot_idx, idx, env);
                     return IssueResult::Issued;
                 }
-                let accesses = self.coalesce_memo(slot_idx, &addrs, active);
+                let accesses = self.coalesce_memo(slot_idx, addr);
                 let r = if role == Some(InstrRole::Load) {
                     self.issue_rdf(now, slot_idx, accesses, env)
                 } else {
@@ -519,13 +518,7 @@ impl Sm {
                 }
                 r
             }
-            Step::Store {
-                idx,
-                space,
-                addrs,
-                active,
-                ..
-            } => {
+            StepLite::Store { idx, space, addr } => {
                 if *lsu_free == 0 {
                     return IssueResult::ExecBusy;
                 }
@@ -535,11 +528,11 @@ impl Sm {
                 if space != MemSpace::Global {
                     *lsu_free -= 1;
                     let slot = self.slots[slot_idx].as_mut().expect("checked");
-                    slot.exec.step(program);
+                    slot.exec.advance(program);
                     self.after_instr(now, slot_idx, idx, env);
                     return IssueResult::Issued;
                 }
-                let accesses = self.coalesce_memo(slot_idx, &addrs, active);
+                let accesses = self.coalesce_memo(slot_idx, addr);
                 let r = if role == Some(InstrRole::Store) {
                     self.issue_wta(now, slot_idx, accesses, env)
                 } else {
@@ -567,17 +560,18 @@ impl Sm {
             .ofl
             .as_ref()
             .and_then(|o| self.kernel.block(o.block).role_of(idx));
-        let regs: Vec<Reg> = match offloaded_role {
+        let ready = |r: Reg| slot.reg_ready[r.0 as usize];
+        match offloaded_role {
             Some(InstrRole::Load) | Some(InstrRole::Store) => {
-                instr.addr_reg().into_iter().collect()
+                instr.addr_reg().map(ready).unwrap_or(0)
             }
-            Some(InstrRole::AtNsu) => vec![],
-            _ => instr.srcs(),
-        };
-        regs.iter()
-            .map(|r| slot.reg_ready[r.0 as usize])
-            .max()
-            .unwrap_or(0)
+            Some(InstrRole::AtNsu) => 0,
+            _ => {
+                let mut at = 0;
+                instr.for_each_src(|r| at = at.max(ready(r)));
+                at
+            }
+        }
     }
 
     /// Scoreboard check; on a stall, memoize the wake-up cycle so the
@@ -602,12 +596,7 @@ impl Sm {
 
     /// Coalesce with memoization keyed on the warp's dynamic instruction
     /// count (stable across repeated issue attempts of the same instr).
-    fn coalesce_memo(
-        &mut self,
-        slot_idx: usize,
-        addrs: &ndp_isa::LaneValues,
-        active: u32,
-    ) -> Vec<LineAccess> {
+    fn coalesce_memo(&mut self, slot_idx: usize, addr: Reg) -> Vec<LineAccess> {
         let word = self.cfg.word_bytes;
         let line = self.cfg.line_bytes;
         let slot = self.slots[slot_idx].as_mut().expect("checked");
@@ -617,7 +606,7 @@ impl Sm {
                 return a.clone();
             }
         }
-        let a = coalesce(addrs, active, word, line);
+        let a = coalesce(slot.exec.reg(addr), slot.exec.active, word, line);
         slot.coalesced = Some((key, a.clone()));
         a
     }
@@ -749,7 +738,7 @@ impl Sm {
         }
         env.note_block_lines(ofl_block(self.slots[slot_idx].as_ref()), n as u32, l1_hits);
         let slot = self.slots[slot_idx].as_mut().expect("checked");
-        slot.exec.step(&kernel.program);
+        slot.exec.advance(&kernel.program);
         slot.ofl.as_mut().expect("ctx").staged.extend(staged);
         self.block_instrs += 1;
         IssueResult::Issued
@@ -804,7 +793,7 @@ impl Sm {
                 },
             ));
         }
-        slot.exec.step(&kernel.program);
+        slot.exec.advance(&kernel.program);
         self.block_instrs += 1;
         for h in wta_hmcs {
             env.note_wta_line(h);
@@ -875,7 +864,7 @@ impl Sm {
         }
 
         let slot = self.slots[slot_idx].as_mut().expect("checked");
-        slot.exec.step(&kernel.program);
+        slot.exec.advance(&kernel.program);
         if remaining == 0 {
             slot.reg_ready[dst.0 as usize] = now + self.cfg.l1_lat as Cycle;
         } else {
@@ -923,7 +912,7 @@ impl Sm {
             ));
         }
         let slot = self.slots[slot_idx].as_mut().expect("checked");
-        slot.exec.step(&kernel.program);
+        slot.exec.advance(&kernel.program);
         if kernel.role_map[idx].is_some() {
             self.block_instrs += 1;
         }
@@ -1038,6 +1027,56 @@ impl Sm {
     /// Current pending/ready NDP buffer depths (occupancy sampling).
     pub fn ndp_buffer_depths(&self) -> (usize, usize) {
         (self.buffers.pending_len(), self.buffers.ready_len())
+    }
+
+    /// Quiescence horizon (see [`ndp_common::port::Component::next_work_at`]):
+    /// the earliest cycle a tick could spawn, reserve, issue, promote, or
+    /// eject anything. Anything whose progress depends on state outside the
+    /// SM (reservation grants, staged promotions, buffered packets) is
+    /// conservatively "work now"; the only deferrals are dependency-stalled
+    /// warps with a known wake cycle. Warps blocked on a barrier or an
+    /// offload ACK wake via packet delivery or a sibling warp's issue, both
+    /// of which are visible to other horizons, so they contribute `None`.
+    pub fn next_work_at(&self, now: Cycle) -> Option<Cycle> {
+        if !self.launch_queue.is_empty() || !self.buffers.is_empty() {
+            return Some(now);
+        }
+        let mut horizon: Option<Cycle> = None;
+        for slot in self.slots.iter().flatten() {
+            if let Some(ofl) = &slot.ofl {
+                if ofl.target.is_some() && (!ofl.reserved || !ofl.staged.is_empty()) {
+                    return Some(now);
+                }
+            }
+            if slot.state == WState::Ready {
+                if slot.wake_at <= now {
+                    return Some(now);
+                }
+                if slot.wake_at != Cycle::MAX {
+                    horizon = Some(horizon.map_or(slot.wake_at, |h: Cycle| h.min(slot.wake_at)));
+                }
+            }
+        }
+        horizon
+    }
+
+    /// Replay the issue-stall statistics an elided tick would have
+    /// recorded. On a cycle [`Sm::next_work_at`] proved idle, `issue`
+    /// attempts nothing, so the attribution is exactly: some warp is
+    /// resident and Ready (necessarily `wake_at > now`) → DependencyStall;
+    /// otherwise WarpIdle. ExecUnitBusy is impossible without an issue
+    /// attempt. Everything else in `tick` is a no-op on such cycles.
+    pub fn note_skipped(&mut self, k: u64) {
+        let any_ready = self
+            .slots
+            .iter()
+            .flatten()
+            .any(|s| s.state == WState::Ready);
+        if any_ready {
+            self.stats.dependency_stall += k;
+        } else {
+            self.stats.warp_idle += k;
+        }
     }
 }
 

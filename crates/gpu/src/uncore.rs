@@ -254,6 +254,18 @@ impl Component for L2Slice {
     fn tick(&mut self, now: Cycle) {
         L2Slice::tick(self, now);
     }
+
+    // Memory-side arrivals are processed same-cycle; SM-side arrivals wait
+    // for their interconnect latency stamp. `to_sm` is deliberately not a
+    // wake source here — draining it is the slice→SM edge's horizon, not
+    // the tick's. A backpressured or not-yet-ready tick is a pure no-op,
+    // so no `note_skipped` replay is needed.
+    fn next_work_at(&self, now: Cycle) -> Option<Cycle> {
+        if !self.from_mem.is_empty() {
+            return Some(now);
+        }
+        self.in_q.next_ready()
+    }
 }
 
 /// Vault index of an address (line-interleaved, 16 vaults).

@@ -272,6 +272,42 @@ impl Component for HmcStack {
     fn tick(&mut self, now: Cycle) {
         HmcStack::tick(self, now);
     }
+
+    // Output ports are deliberately not wake sources: draining them is the
+    // stack→{gpu,nsu,memnet} edges' horizon, and `tick` never reads them.
+    fn next_work_at(&self, now: Cycle) -> Option<Cycle> {
+        if self.vault_pending.iter().any(|q| !q.is_empty())
+            || self.vaults.iter().any(|v| v.queue_len() > 0)
+        {
+            return Some(now);
+        }
+        // Only scheduled completions remain. Convert the earliest DRAM-
+        // domain completion cycle into SM cycles through the exact
+        // clock-crossing accumulator: after k SM-cycle ticks the DRAM clock
+        // has advanced by floor((acc + k·sm_period) / tck) cycles, and a
+        // completion at DRAM cycle A drains once dram_now reaches A. The
+        // tick at cycle `now` itself is the first of those k (the horizon
+        // is consulted before the stage runs), so the completion drains at
+        // `now + k - 1`. k ≥ 1 because need ≥ tck > acc (the accumulator
+        // invariant keeps acc < tck after every tick).
+        let at_min = self.vaults.iter().filter_map(|v| v.next_done_at()).min()?;
+        if at_min <= self.dram_now {
+            return Some(now);
+        }
+        let need_units = (at_min - self.dram_now) * self.tck_units;
+        let k = (need_units - self.acc_units).div_ceil(self.sm_period_units);
+        Some(now + k - 1)
+    }
+
+    // `tick` unconditionally advances the clock-crossing accumulator, so a
+    // skipped cycle must replay exactly that. The elided DRAM cycles are
+    // safe: every vault queue was empty (`pick` is a no-op) and the
+    // horizon guarantees no completion became drainable in the span.
+    fn note_skipped(&mut self, k: u64) {
+        let total = self.acc_units + k * self.sm_period_units;
+        self.dram_now += total / self.tck_units;
+        self.acc_units = total % self.tck_units;
+    }
 }
 
 #[cfg(test)]
@@ -486,6 +522,80 @@ mod tests {
         run(&mut s, 200);
         let resp_size = s.to_gpu[0].size as u64;
         assert_eq!(s.intra_bytes, req_size + resp_size);
+    }
+
+    #[test]
+    fn skipping_idle_spans_is_bit_identical_to_ticking() {
+        // Drive the same request through a per-cycle-ticked stack and one
+        // that elides provably idle cycles via next_work_at/note_skipped:
+        // DRAM clocks, responses, and stats must be indistinguishable.
+        let c = cfg();
+        let addr = addr_for(&c, 2, 3);
+        let mk = || {
+            let mut s = HmcStack::new(HmcId(2), &c);
+            s.accept(Packet::new(
+                Node::L2(2),
+                Node::Vault(2, 3),
+                0,
+                PacketKind::ReadReq {
+                    addr,
+                    bytes: 128,
+                    tag: 7,
+                    block: ndp_common::packet::NO_BLOCK,
+                },
+            ));
+            s
+        };
+        const END: Cycle = 500;
+        let mut ticked = mk();
+        // The response must become externally visible on exactly the same
+        // cycle in both drives — a horizon that is even one cycle late
+        // would delay the packet without changing any end-of-run totals.
+        let mut ticked_out_at = None;
+        for now in 0..END {
+            HmcStack::tick(&mut ticked, now);
+            if ticked_out_at.is_none() && !ticked.to_gpu.is_empty() {
+                ticked_out_at = Some(now);
+            }
+        }
+        let mut skipped = mk();
+        let mut skipped_out_at = None;
+        let mut now: Cycle = 0;
+        let mut elided = 0u64;
+        while now < END {
+            match Component::next_work_at(&skipped, now) {
+                Some(h) if h <= now => {
+                    Component::tick(&mut skipped, now);
+                    if skipped_out_at.is_none() && !skipped.to_gpu.is_empty() {
+                        skipped_out_at = Some(now);
+                    }
+                    now += 1;
+                }
+                Some(h) => {
+                    let j = h.min(END);
+                    Component::note_skipped(&mut skipped, j - now);
+                    elided += j - now;
+                    now = j;
+                }
+                None => {
+                    Component::note_skipped(&mut skipped, END - now);
+                    elided += END - now;
+                    now = END;
+                }
+            }
+        }
+        assert!(elided > 400, "the idle tail should dominate: {elided}");
+        assert_eq!(ticked.dram_now, skipped.dram_now);
+        assert_eq!(ticked.acc_units, skipped.acc_units);
+        assert_eq!(ticked.to_gpu.len(), skipped.to_gpu.len());
+        assert_eq!(
+            ticked_out_at, skipped_out_at,
+            "response visibility cycle must not shift under skipping"
+        );
+        assert!(ticked_out_at.is_some());
+        assert_eq!(ticked.dram_stats().read_bytes, 128);
+        assert_eq!(skipped.dram_stats().read_bytes, 128);
+        assert!(!skipped.busy() || !skipped.to_gpu.is_empty());
     }
 
     #[test]

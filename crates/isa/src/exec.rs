@@ -52,6 +52,49 @@ impl Step {
     }
 }
 
+/// Lightweight decode of the next dynamic instruction: like [`Step`] but
+/// memory steps carry the address *register* instead of a copied lane-value
+/// vector. The timing simulators probe warps many times per issued
+/// instruction (scoreboard stalls, structural hazards), and copying 256 B
+/// of addresses per probe dominated the issue path; callers that actually
+/// need the addresses read them through [`WarpExec::reg`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StepLite {
+    Alu {
+        /// Index into `program.items`.
+        idx: usize,
+        op: AluOp,
+        dst: Reg,
+    },
+    Load {
+        idx: usize,
+        dst: Reg,
+        space: MemSpace,
+        addr: Reg,
+    },
+    Store {
+        idx: usize,
+        space: MemSpace,
+        addr: Reg,
+    },
+    Barrier {
+        idx: usize,
+    },
+    Done,
+}
+
+impl StepLite {
+    pub fn idx(&self) -> Option<usize> {
+        match self {
+            StepLite::Alu { idx, .. }
+            | StepLite::Load { idx, .. }
+            | StepLite::Store { idx, .. }
+            | StepLite::Barrier { idx } => Some(*idx),
+            StepLite::Done => None,
+        }
+    }
+}
+
 #[derive(Debug, Clone)]
 struct LoopFrame {
     body_pc: usize,
@@ -211,6 +254,53 @@ impl WarpExec {
             },
             _ => unreachable!("settle() leaves pc on Op/Bar"),
         }
+    }
+
+    /// The next dynamic instruction, decoded without copying lane values —
+    /// the hot-path companion of [`WarpExec::current`].
+    pub fn current_lite(&mut self, program: &Program) -> StepLite {
+        self.settle(program);
+        if self.done {
+            return StepLite::Done;
+        }
+        let idx = self.pc;
+        match &program.items[idx] {
+            Item::Bar => StepLite::Barrier { idx },
+            Item::Op(instr) => match instr {
+                Instr::Alu { op, dst, .. } => StepLite::Alu {
+                    idx,
+                    op: *op,
+                    dst: *dst,
+                },
+                Instr::Ld { dst, space, addr } => StepLite::Load {
+                    idx,
+                    dst: *dst,
+                    space: *space,
+                    addr: *addr,
+                },
+                Instr::St { space, addr, .. } => StepLite::Store {
+                    idx,
+                    space: *space,
+                    addr: *addr,
+                },
+            },
+            _ => unreachable!("settle() leaves pc on Op/Bar"),
+        }
+    }
+
+    /// Execute the current instruction functionally and advance, without
+    /// rebuilding the [`Step`] — the hot-path variant of [`WarpExec::step`]
+    /// for callers that already hold the decoded step from `current()`.
+    pub fn advance(&mut self, program: &Program) {
+        self.settle(program);
+        if self.done {
+            return;
+        }
+        if let Item::Op(instr) = &program.items[self.pc] {
+            self.execute(instr.clone());
+        }
+        self.executed += 1;
+        self.pc += 1;
     }
 
     /// Execute the current instruction functionally and advance.
@@ -456,6 +546,73 @@ mod tests {
         let s = w.step(&p);
         assert_eq!(s, c1);
         assert!(matches!(w.step(&p), Step::Done));
+        assert!(w.is_done());
+    }
+
+    #[test]
+    fn current_lite_mirrors_current() {
+        let mut p = Program::new("t", 1);
+        p.items = vec![
+            Item::Op(I::alu3(
+                AluOp::IMad,
+                Reg(1),
+                Operand::Tid,
+                Operand::Imm(4),
+                Operand::Imm(0x1000),
+            )),
+            Item::Op(I::ld(Reg(2), Reg(1))),
+            Item::Bar,
+            Item::Op(I::st(Reg(2), Reg(1))),
+        ];
+        let mut w = WarpExec::new(&p, 0, ALL, 42);
+        loop {
+            let lite = w.current_lite(&p);
+            let full = w.current(&p);
+            assert_eq!(lite.idx(), full.idx());
+            match (lite, &full) {
+                (StepLite::Done, Step::Done) => break,
+                (StepLite::Barrier { .. }, Step::Barrier { .. }) => {}
+                (
+                    StepLite::Alu { op, dst, .. },
+                    Step::Alu {
+                        op: o2, dst: d2, ..
+                    },
+                ) => {
+                    assert_eq!((op, dst), (*o2, *d2));
+                }
+                (
+                    StepLite::Load {
+                        dst, space, addr, ..
+                    },
+                    Step::Load {
+                        dst: d2,
+                        space: s2,
+                        addrs,
+                        active,
+                        ..
+                    },
+                ) => {
+                    assert_eq!((dst, space), (*d2, *s2));
+                    assert_eq!(
+                        w.reg(addr),
+                        addrs,
+                        "addr register resolves to the copied lanes"
+                    );
+                    assert_eq!(*active, w.active);
+                }
+                (
+                    StepLite::Store { space, addr, .. },
+                    Step::Store {
+                        space: s2, addrs, ..
+                    },
+                ) => {
+                    assert_eq!(space, *s2);
+                    assert_eq!(w.reg(addr), addrs);
+                }
+                (l, f) => panic!("decode mismatch: {l:?} vs {f:?}"),
+            }
+            w.advance(&p);
+        }
         assert!(w.is_done());
     }
 

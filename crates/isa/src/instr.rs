@@ -225,6 +225,33 @@ impl Instr {
     }
 
     /// Source registers (including address registers).
+    /// Visit every source register without allocating (hot-path variant of
+    /// [`Instr::srcs`] for the per-issue-attempt scoreboard check).
+    pub fn for_each_src(&self, mut f: impl FnMut(Reg)) {
+        match self {
+            Instr::Alu { op, a, b, c, .. } => {
+                if let Some(r) = a.reg() {
+                    f(r);
+                }
+                if op.arity() >= 2 {
+                    if let Some(r) = b.reg() {
+                        f(r);
+                    }
+                }
+                if let Some(c) = c {
+                    if let Some(r) = c.reg() {
+                        f(r);
+                    }
+                }
+            }
+            Instr::Ld { addr, .. } => f(*addr),
+            Instr::St { val, addr, .. } => {
+                f(*val);
+                f(*addr);
+            }
+        }
+    }
+
     pub fn srcs(&self) -> Vec<Reg> {
         match self {
             Instr::Alu { op, a, b, c, .. } => {

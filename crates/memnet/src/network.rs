@@ -147,11 +147,35 @@ impl MemNetwork {
             .sum::<usize>()
             + self.delivered.iter().map(|q| q.len()).sum::<usize>()
     }
+
+    /// Any packet awaiting pickup in a delivery queue? (The horizon of the
+    /// delivered→stack edge; delivery queues are plain FIFOs, so occupancy
+    /// is the whole story.)
+    pub fn has_delivered(&self) -> bool {
+        self.delivered.iter().any(|q| !q.is_empty())
+    }
 }
 
 impl Component for MemNetwork {
     fn tick(&mut self, now: Cycle) {
         MemNetwork::tick(self, now);
+    }
+
+    // A serializing link works every cycle; an all-in-flight network is
+    // idle until the earliest delivery; a drained network is quiescent.
+    // An idle tick touches nothing (empty links early-return, no ready
+    // flights to forward), so no `note_skipped` replay is needed.
+    fn next_work_at(&self, now: Cycle) -> Option<Cycle> {
+        let mut horizon: Option<Cycle> = None;
+        for l in self.links.iter().flatten() {
+            if let Some(c) = l.next_work_at(now) {
+                return Some(c); // a busy serializer means work now
+            }
+            if let Some(c) = l.next_delivery_at() {
+                horizon = Some(horizon.map_or(c, |h: Cycle| h.min(c)));
+            }
+        }
+        horizon
     }
 }
 

@@ -410,6 +410,61 @@ impl Nsu {
         std::mem::take(&mut self.credits)
     }
 
+    /// Credit events accumulated but not yet drained? (Horizon of the
+    /// credit side-channel: `take_credits` only does work when nonzero.)
+    pub fn has_pending_credits(&self) -> bool {
+        self.credits.cmd != 0 || self.credits.read != 0 || self.credits.write != 0
+    }
+
+    /// Quiescence horizon in *NSU ticks from now*: `Some(0)` means the very
+    /// next tick could do work, `Some(d)` that the next `d` ticks are
+    /// provably idle, `None` that no tick will do work until a packet is
+    /// delivered. `tick` pre-increments the internal clock, so the next
+    /// tick runs at `nsu_now + 1`; a warp with `next_free` beyond that is
+    /// idle for `next_free - (nsu_now + 1)` ticks. Warps stalled on buffer
+    /// merges or write ACKs wake only via `deliver`, which other horizons
+    /// (link/edge) track, so they contribute `None`.
+    pub fn next_work_delta(&self) -> Option<u64> {
+        if !self.cmd_q.is_empty() {
+            return Some(0); // conservative: spawn may or may not find a slot
+        }
+        let m = self.nsu_now + 1;
+        let mut best: Option<u64> = None;
+        for w in self.slots.iter().flatten() {
+            let runnable = match &self.blocks[w.block as usize].nsu_code[w.pc] {
+                NsuInstr::Begin { .. } | NsuInstr::Alu(_) => true,
+                NsuInstr::Ld { .. } => self
+                    .read_buf
+                    .get(&(w.token, w.seq))
+                    .is_some_and(|e| e.arrived_mask & w.mask == w.mask),
+                NsuInstr::St { .. } => self
+                    .write_buf
+                    .get(&(w.token, w.seq))
+                    .is_some_and(|(n, v)| v.len() == *n as usize),
+                NsuInstr::End { .. } => w.writes_outstanding == 0,
+            };
+            if runnable {
+                let d = w.next_free.saturating_sub(m);
+                best = Some(best.map_or(d, |b: u64| b.min(d)));
+                if best == Some(0) {
+                    break;
+                }
+            }
+        }
+        best
+    }
+
+    /// Replay the bookkeeping `k` elided ticks would have done. On a cycle
+    /// [`Nsu::next_work_delta`] proved idle, `tick` only advances the
+    /// clock/tick counters and accumulates occupancy (no spawn — the
+    /// command queue was empty, so occupancy is constant over the span; no
+    /// issue — `try_issue_slot` is read-only when it declines).
+    pub fn note_skipped(&mut self, k: u64) {
+        self.nsu_now += k;
+        self.ticks += k;
+        self.occupied_sum += self.occupied_slots() as u64 * k;
+    }
+
     /// Tokens resident in warp slots, with execution state (stall reports).
     pub fn resident_tokens(&self) -> Vec<TokenInFlight> {
         self.slots
@@ -697,6 +752,53 @@ mod tests {
         let util = n.icache_utilization(4096);
         // 5 instructions × 8 B = 40 B of 4096.
         assert!((util - 40.0 / 4096.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn skipping_idle_ticks_matches_ticking() {
+        // A warp that runs Begin/Ld/Alu then stalls on its store data:
+        // eliding the provably idle ticks must leave every counter (clock,
+        // occupancy, instructions, outputs) identical to per-tick running.
+        let prime = |n: &mut Nsu| {
+            n.deliver(0, cmd(1)).unwrap();
+            n.deliver(0, rdf_resp(1, 0, full_access(0x1000))).unwrap();
+        };
+        const END: u64 = 100;
+        let mut ticked = nsu();
+        prime(&mut ticked);
+        for now in 0..END {
+            ticked.tick(now);
+        }
+        let mut skipped = nsu();
+        prime(&mut skipped);
+        let mut t = 0u64;
+        let mut elided = 0u64;
+        while t < END {
+            match skipped.next_work_delta() {
+                Some(0) => {
+                    skipped.tick(t);
+                    t += 1;
+                }
+                Some(d) => {
+                    let d = d.min(END - t);
+                    skipped.note_skipped(d);
+                    elided += d;
+                    t += d;
+                }
+                None => {
+                    skipped.note_skipped(END - t);
+                    elided += END - t;
+                    t = END;
+                }
+            }
+        }
+        assert!(elided > 50, "the stalled tail should dominate: {elided}");
+        assert_eq!(ticked.ticks, skipped.ticks);
+        assert_eq!(ticked.nsu_now, skipped.nsu_now);
+        assert_eq!(ticked.occupied_sum, skipped.occupied_sum);
+        assert_eq!(ticked.instrs, skipped.instrs);
+        assert_eq!(ticked.out.len(), skipped.out.len());
+        assert_eq!(ticked.occupied_slots(), skipped.occupied_slots());
     }
 
     #[test]

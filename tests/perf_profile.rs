@@ -76,10 +76,16 @@ fn stage_counters_account_for_every_cycle() {
     assert_eq!(perf.stages.len(), 20, "one entry per PIPELINE stage");
     for s in &perf.stages {
         assert_eq!(
-            s.invocations + s.gated,
+            s.invocations + s.gated + s.skipped,
             r.cycles,
             "stage {} not accounted every cycle",
             s.name
+        );
+        assert!(
+            (0.0..=1.0).contains(&s.skip_frac),
+            "{}: skip_frac {}",
+            s.name,
+            s.skip_frac
         );
         assert!(
             (0.0..=1.0).contains(&s.idle_frac),
@@ -108,6 +114,10 @@ fn stage_counters_account_for_every_cycle() {
     );
     let total_moved: u64 = perf.stages.iter().map(|s| s.moved).sum();
     assert!(total_moved > 0);
+    // Event-driven core: with skipping on (the default) quiescent stages
+    // must actually be elided, and the report must show it.
+    let total_skipped: u64 = perf.stages.iter().map(|s| s.skipped).sum();
+    assert!(total_skipped > 0, "no stage ever skipped a quiescent cycle");
 
     assert!(
         !perf.heartbeats.is_empty(),
