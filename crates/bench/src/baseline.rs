@@ -24,8 +24,9 @@ use ndp_workloads::{Scale, Workload};
 use serde::{Deserialize, Serialize};
 
 /// Version stamp of the `BENCH_core.json` document. v2 added the
-/// per-stage `skip_frac` column from the event-driven core.
-pub const BENCH_SCHEMA_VERSION: u32 = 2;
+/// per-stage `skip_frac` column from the event-driven core; v3 added the
+/// checkpoint cost columns (`ckpt_bytes`, `ckpt_save_ns`, `ckpt_restore_ns`).
+pub const BENCH_SCHEMA_VERSION: u32 = 3;
 
 /// One benchmark scenario: a configuration and a workload set at a fixed
 /// scale, timed over `reps` repetitions (best rep wins, to shed scheduler
@@ -134,6 +135,12 @@ pub struct BenchEntry {
     pub wall_ns: u64,
     /// `sim_cycles / wall_seconds` of the best rep.
     pub cycles_per_sec: f64,
+    /// Size of one mid-run checkpoint image of the spec's first workload.
+    pub ckpt_bytes: u64,
+    /// Wall time to capture + seal that image (`System::snapshot`).
+    pub ckpt_save_ns: u64,
+    /// Wall time to verify + rebuild a `System` from it (`try_restore`).
+    pub ckpt_restore_ns: u64,
     /// Per-stage idle and wall-time shares from one instrumented run.
     pub stage_idle: Vec<StageIdle>,
 }
@@ -233,6 +240,30 @@ pub fn measure(spec: &BenchSpec) -> BenchEntry {
         stage_reports.push(r.perf.expect("profiling was enabled").stages);
     }
 
+    // Checkpoint cost probe: snapshot the first workload mid-run and
+    // restore the image, timing both directions. One sample per spec is
+    // enough — the image size is deterministic and the save/restore cost
+    // scales with machine shape, not with how long the run has gone.
+    let (ckpt_bytes, ckpt_save_ns, ckpt_restore_ns) = {
+        let w = spec.workloads[0];
+        let program = w.build(&spec.scale);
+        let kernel = std::sync::Arc::new(ndp_compiler::compile(
+            &program,
+            &ndp_compiler::CompilerConfig::default(),
+        ));
+        let mut sys = System::new(spec.config(), &program);
+        sys.run_until(4_096).expect("no protocol violation");
+        let t0 = Instant::now();
+        let image = sys.snapshot();
+        let save_ns = t0.elapsed().as_nanos() as u64;
+        let t1 = Instant::now();
+        let restored =
+            System::try_restore(spec.config(), kernel, &image).expect("own snapshot restores");
+        let restore_ns = t1.elapsed().as_nanos() as u64;
+        assert_eq!(restored.cycle(), sys.cycle(), "{}: resume cycle", spec.name);
+        (image.len() as u64, save_ns, restore_ns)
+    };
+
     BenchEntry {
         name: spec.name.to_string(),
         config: spec.config_name.to_string(),
@@ -247,6 +278,9 @@ pub fn measure(spec: &BenchSpec) -> BenchEntry {
         sim_cycles,
         wall_ns: best_ns,
         cycles_per_sec: sim_cycles as f64 / (best_ns as f64 / 1e9),
+        ckpt_bytes,
+        ckpt_save_ns,
+        ckpt_restore_ns,
         stage_idle: merge_stage_idle(&stage_reports),
     }
 }
@@ -358,6 +392,9 @@ mod tests {
             sim_cycles: sim,
             wall_ns: 1_000_000,
             cycles_per_sec: cps,
+            ckpt_bytes: 0,
+            ckpt_save_ns: 0,
+            ckpt_restore_ns: 0,
             stage_idle: Vec::new(),
         }
     }

@@ -87,6 +87,13 @@ fn main() {
                     e.wall_ns as f64 / 1e9,
                     e.reps
                 );
+                println!(
+                    "{:12} checkpoint: {} bytes, save {:.2} ms, restore {:.2} ms",
+                    "",
+                    e.ckpt_bytes,
+                    e.ckpt_save_ns as f64 / 1e6,
+                    e.ckpt_restore_ns as f64 / 1e6
+                );
             }
             println!("wrote {out_path} (rev {})", doc.git_rev);
         }

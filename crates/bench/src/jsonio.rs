@@ -67,7 +67,8 @@ fn entry_json(e: &BenchEntry) -> String {
     format!(
         "    {{\n      \"name\": \"{}\",\n      \"config\": \"{}\",\n      \"workloads\": [{}],\n      \
          \"warps\": {},\n      \"iters\": {},\n      \"reps\": {},\n      \"sim_cycles\": {},\n      \
-         \"wall_ns\": {},\n      \"cycles_per_sec\": {},\n      \"stage_idle\": [\n{}\n      ]\n    }}",
+         \"wall_ns\": {},\n      \"cycles_per_sec\": {},\n      \"ckpt_bytes\": {},\n      \
+         \"ckpt_save_ns\": {},\n      \"ckpt_restore_ns\": {},\n      \"stage_idle\": [\n{}\n      ]\n    }}",
         esc(&e.name),
         esc(&e.config),
         workloads.join(", "),
@@ -77,6 +78,9 @@ fn entry_json(e: &BenchEntry) -> String {
         e.sim_cycles,
         e.wall_ns,
         num(e.cycles_per_sec),
+        e.ckpt_bytes,
+        e.ckpt_save_ns,
+        e.ckpt_restore_ns,
         stages.join(",\n"),
     )
 }
@@ -364,6 +368,9 @@ pub fn baseline_from_json(raw: &str) -> Result<BenchBaseline, String> {
                 sim_cycles: e.u64_or("sim_cycles", 0),
                 wall_ns: e.u64_or("wall_ns", 0),
                 cycles_per_sec: e.f64_or("cycles_per_sec", 0.0),
+                ckpt_bytes: e.u64_or("ckpt_bytes", 0),
+                ckpt_save_ns: e.u64_or("ckpt_save_ns", 0),
+                ckpt_restore_ns: e.u64_or("ckpt_restore_ns", 0),
                 stage_idle: match e.get("stage_idle") {
                     Some(Json::Arr(ss)) => ss
                         .iter()
@@ -435,6 +442,9 @@ mod tests {
                 sim_cycles: 1_234_567,
                 wall_ns: 987_654_321,
                 cycles_per_sec: 1_249_999.5,
+                ckpt_bytes: 262_144,
+                ckpt_save_ns: 1_500_000,
+                ckpt_restore_ns: 2_500_000,
                 stage_idle: vec![StageIdle {
                     stage: "edge:sm_out".to_string(),
                     idle_frac: 0.25,

@@ -58,6 +58,29 @@ impl CreditPool {
         true
     }
 
+    /// Checkpoint the pool balance (capacity is config-derived and comes
+    /// from fresh construction on restore).
+    pub fn snap(&self, w: &mut crate::snap::SnapWriter) {
+        w.usize(self.available);
+    }
+
+    /// Overwrite the pool balance from a checkpoint stream. A balance above
+    /// the pool's capacity is structurally impossible and rejected.
+    pub fn restore(
+        &mut self,
+        r: &mut crate::snap::SnapReader<'_>,
+    ) -> Result<(), crate::snap::SnapError> {
+        let available = r.usize()?;
+        if available > self.capacity {
+            return Err(crate::snap::SnapError(format!(
+                "credit balance {available} exceeds pool capacity {}",
+                self.capacity
+            )));
+        }
+        self.available = available;
+        Ok(())
+    }
+
     /// Return `n` credits. Panics if that would exceed capacity — a protocol
     /// bug (double release) rather than a runtime condition.
     pub fn release(&mut self, n: usize) {
@@ -114,6 +137,23 @@ impl NsuCredits {
         self.cmd.release(1);
         self.read_data.release(n_loads);
         self.write_addr.release(n_stores);
+    }
+
+    /// Checkpoint all three pool balances.
+    pub fn snap(&self, w: &mut crate::snap::SnapWriter) {
+        self.cmd.snap(w);
+        self.read_data.snap(w);
+        self.write_addr.snap(w);
+    }
+
+    /// Overwrite all three pool balances from a checkpoint stream.
+    pub fn restore(
+        &mut self,
+        r: &mut crate::snap::SnapReader<'_>,
+    ) -> Result<(), crate::snap::SnapError> {
+        self.cmd.restore(r)?;
+        self.read_data.restore(r)?;
+        self.write_addr.restore(r)
     }
 }
 

@@ -83,6 +83,16 @@ pub fn flag_or_die(var: &'static str) -> Option<bool> {
     }
 }
 
+/// Read `var` as a free-form string (file-system paths and the like —
+/// anything non-empty is valid, so there is no error channel). `None`
+/// when unset or blank.
+pub fn string(var: &'static str) -> Option<String> {
+    std::env::var(var)
+        .ok()
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+}
+
 /// Every environment variable the simulator understands, with a one-line
 /// description. `ndp-lint` treats any other `NDP_`-prefixed name as a
 /// likely typo.
@@ -148,6 +158,22 @@ pub const KNOWN: &[(&str, &str)] = &[
     (
         "NDP_PARALLEL",
         "tick stack/NSU interiors on scoped threads within each cycle (flag)",
+    ),
+    (
+        "NDP_CHECKPOINT_EVERY",
+        "cycles between periodic checkpoints (u64; 0 disables; requires NDP_CHECKPOINT_PATH)",
+    ),
+    (
+        "NDP_CHECKPOINT_PATH",
+        "checkpoint target: a file, or a directory for per-workload files",
+    ),
+    (
+        "NDP_RESUME",
+        "resume from a checkpoint file (or per-workload directory) instead of starting fresh",
+    ),
+    (
+        "NDP_STALL_DUMP",
+        "directory to dump a post-mortem checkpoint into when the watchdog fires",
     ),
 ];
 
@@ -261,6 +287,38 @@ mod tests {
             .expect("typoed event-core knob reported");
         assert_eq!(hit.1, Some("NDP_PARALLEL"));
         std::env::remove_var("NDP_PARALEL");
+    }
+
+    #[test]
+    fn typo_detection_covers_checkpoint_knobs() {
+        // The checkpoint/resume surface is registered: the real names are
+        // known (not typos), and a misspelled knob suggests the real one.
+        for k in [
+            "NDP_CHECKPOINT_EVERY",
+            "NDP_CHECKPOINT_PATH",
+            "NDP_RESUME",
+            "NDP_STALL_DUMP",
+        ] {
+            assert!(KNOWN.iter().any(|(n, _)| *n == k), "{k} unregistered");
+        }
+        std::env::set_var("NDP_RESUM", "ckpt.bin");
+        let unknown = unknown_ndp_vars();
+        let hit = unknown
+            .iter()
+            .find(|(name, _)| name == "NDP_RESUM")
+            .expect("typoed checkpoint knob reported");
+        assert_eq!(hit.1, Some("NDP_RESUME"));
+        std::env::remove_var("NDP_RESUM");
+    }
+
+    #[test]
+    fn string_vars_pass_through_trimmed() {
+        assert_eq!(string("NDP_TEST_STR_UNSET"), None);
+        std::env::set_var("NDP_TEST_STR_C", "  /tmp/x.ckpt ");
+        assert_eq!(string("NDP_TEST_STR_C").as_deref(), Some("/tmp/x.ckpt"));
+        std::env::set_var("NDP_TEST_STR_C", "   ");
+        assert_eq!(string("NDP_TEST_STR_C"), None, "blank counts as unset");
+        std::env::remove_var("NDP_TEST_STR_C");
     }
 
     #[test]

@@ -105,6 +105,13 @@ pub enum SimError {
     /// ill-formed (unroutable kind, dead-end delivery, unpaired credit
     /// pool, or a bounded wait-for cycle).
     BadFabric { check: &'static str, detail: String },
+    /// A checkpoint could not be restored: corrupt bytes (bad magic,
+    /// checksum mismatch, truncation), an incompatible schema version, or
+    /// a config/kernel fingerprint that does not match the machine the
+    /// restore was attempted on. `check` names the failed gate, `detail`
+    /// carries the byte-level context. Restores never panic and never
+    /// resume silently wrong.
+    BadCheckpoint { check: &'static str, detail: String },
 }
 
 impl fmt::Display for SimError {
@@ -158,6 +165,9 @@ impl fmt::Display for SimError {
             ),
             SimError::BadFabric { check, detail } => {
                 write!(f, "fabric graph invalid [{check}]: {detail}")
+            }
+            SimError::BadCheckpoint { check, detail } => {
+                write!(f, "checkpoint rejected [{check}]: {detail}")
             }
         }
     }

@@ -31,6 +31,7 @@ pub mod obs;
 pub mod packet;
 pub mod port;
 pub mod rng;
+pub mod snap;
 pub mod stats;
 pub mod watchdog;
 

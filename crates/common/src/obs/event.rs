@@ -137,6 +137,63 @@ impl EventRing {
     pub fn first_token(&self) -> Option<OffloadToken> {
         self.events.iter().find_map(|e| e.token)
     }
+
+    /// Checkpoint the limit and recorded events. `kind` is transported as
+    /// its [`Packet::kind_index`] so restore can re-point it at the static
+    /// [`Packet::KIND_NAMES`] entry; `site` by its stable index.
+    pub fn snap(&self, w: &mut crate::snap::SnapWriter) {
+        w.usize(self.limit);
+        w.len(self.events.len());
+        for e in &self.events {
+            w.u64(e.cycle);
+            w.u8(e.site.index() as u8);
+            e.src.snap(w);
+            e.dst.snap(w);
+            w.u32(e.size);
+            let ki = Packet::KIND_NAMES
+                .iter()
+                .position(|&n| n == e.kind)
+                .expect("event kind is a KIND_NAMES entry");
+            w.u8(ki as u8);
+            w.bool(e.token.is_some());
+            w.u64(e.token.map_or(0, |t| t.0));
+        }
+    }
+
+    /// Rebuild a ring from a checkpoint stream.
+    pub fn restore(
+        r: &mut crate::snap::SnapReader<'_>,
+    ) -> Result<EventRing, crate::snap::SnapError> {
+        let limit = r.usize()?;
+        let n = r.len()?;
+        let mut events = Vec::with_capacity(n.min(4096));
+        for _ in 0..n {
+            let cycle = r.u64()?;
+            let si = r.u8()? as usize;
+            let site = *TraceSite::ALL.get(si).ok_or_else(|| {
+                crate::snap::SnapError(format!("unknown TraceSite index {si}"))
+            })?;
+            let src = Node::restore(r)?;
+            let dst = Node::restore(r)?;
+            let size = r.u32()?;
+            let ki = r.u8()? as usize;
+            let kind = *Packet::KIND_NAMES.get(ki).ok_or_else(|| {
+                crate::snap::SnapError(format!("unknown packet kind index {ki}"))
+            })?;
+            let present = r.bool()?;
+            let tok = r.u64()?;
+            events.push(TraceEvent {
+                cycle,
+                site,
+                src,
+                dst,
+                size,
+                kind,
+                token: present.then_some(OffloadToken(tok)),
+            });
+        }
+        Ok(EventRing { events, limit })
+    }
 }
 
 #[cfg(test)]

@@ -178,6 +178,54 @@ impl Obs {
         }
     }
 
+    /// Checkpoint the config, transaction tracker, event ring, and
+    /// occupancy series.
+    pub fn snap(&self, w: &mut crate::snap::SnapWriter) {
+        w.bool(self.cfg.enabled);
+        w.u64(self.cfg.sample_interval);
+        w.usize(self.cfg.timeseries_cap);
+        w.usize(self.cfg.event_cap);
+        self.txns.snap(w);
+        self.events.snap(w);
+        w.len(self.series.len());
+        for (name, ts) in &self.series {
+            w.str(name);
+            ts.snap(w);
+        }
+    }
+
+    /// Rebuild the observability layer from a checkpoint stream. Series
+    /// names created at runtime are interned with `Box::leak` — a handful
+    /// of short strings per restore, matching the `&'static str` keys the
+    /// live sampler uses.
+    pub fn restore(
+        r: &mut crate::snap::SnapReader<'_>,
+    ) -> Result<Obs, crate::snap::SnapError> {
+        let cfg = ObsConfig {
+            enabled: r.bool()?,
+            sample_interval: r.u64()?,
+            timeseries_cap: r.usize()?,
+            event_cap: r.usize()?,
+        };
+        let mut txns = TxnTracker::default();
+        txns.restore(r)?;
+        let events = EventRing::restore(r)?;
+        let n = r.len()?;
+        let mut series = Vec::with_capacity(n);
+        for _ in 0..n {
+            let name: &'static str = Box::leak(r.str()?.into_boxed_str());
+            let mut ts = TimeSeries::new(cfg.timeseries_cap);
+            ts.restore(r)?;
+            series.push((name, ts));
+        }
+        Ok(Obs {
+            cfg,
+            txns,
+            events,
+            series,
+        })
+    }
+
     /// Fold the live state into a serializable report.
     pub fn report(&self) -> ObsReport {
         ObsReport {

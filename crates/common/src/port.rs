@@ -110,6 +110,27 @@ impl OutPort {
     pub fn retain(&mut self, f: impl FnMut(&Packet) -> bool) {
         self.q.retain(f)
     }
+
+    /// Checkpoint the queued packets (capacity is config-derived and comes
+    /// from fresh construction on restore).
+    pub fn snap(&self, w: &mut crate::snap::SnapWriter) {
+        w.len(self.q.len());
+        for p in &self.q {
+            p.snap(w);
+        }
+    }
+
+    /// Overwrite the queue contents from a checkpoint stream.
+    pub fn restore(
+        &mut self,
+        r: &mut crate::snap::SnapReader<'_>,
+    ) -> Result<(), crate::snap::SnapError> {
+        self.q.clear();
+        for _ in 0..r.len()? {
+            self.q.push_back(Packet::restore(r)?);
+        }
+        Ok(())
+    }
 }
 
 impl Index<usize> for OutPort {
@@ -204,6 +225,29 @@ impl InPort {
     /// at which `pop_ready` can succeed — the port's quiescence horizon.
     pub fn next_ready(&self) -> Option<Cycle> {
         self.q.front().map(|&(ready, _)| ready)
+    }
+
+    /// Checkpoint the latency-stamped queue (latency/capacity are
+    /// config-derived and come from fresh construction on restore).
+    pub fn snap(&self, w: &mut crate::snap::SnapWriter) {
+        w.len(self.q.len());
+        for (ready, p) in &self.q {
+            w.u64(*ready);
+            p.snap(w);
+        }
+    }
+
+    /// Overwrite the queue contents from a checkpoint stream.
+    pub fn restore(
+        &mut self,
+        r: &mut crate::snap::SnapReader<'_>,
+    ) -> Result<(), crate::snap::SnapError> {
+        self.q.clear();
+        for _ in 0..r.len()? {
+            let ready = r.u64()?;
+            self.q.push_back((ready, Packet::restore(r)?));
+        }
+        Ok(())
     }
 }
 

@@ -1,0 +1,325 @@
+//! Binary snapshot primitives for deterministic checkpoint/restore.
+//!
+//! Every stateful component serializes itself through [`SnapWriter`] /
+//! [`SnapReader`]: a tiny, dependency-free little-endian binary codec.
+//! There is deliberately no reflection and no derive — the offline build
+//! carries only inert serde stubs, and a hand-rolled codec keeps the
+//! on-disk layout explicit, stable, and auditable (DESIGN.md §13).
+//!
+//! Conventions shared by every `snap`/`restore` pair in the workspace:
+//!
+//! - integers are little-endian fixed width; `usize` travels as `u64`;
+//! - `f64` travels as its IEEE-754 bit pattern ([`f64::to_bits`]) so
+//!   restore is bit-exact, never a decimal round-trip;
+//! - sequences are length-prefixed (`u64`) and written in a deterministic
+//!   order — hash maps/sets serialize their entries sorted by key so two
+//!   snapshots of identical state are byte-identical across processes;
+//! - `Option<T>` is a `bool` presence flag followed by the payload;
+//! - composite sections open with a [`SnapWriter::tag`] that the reader
+//!   checks, so a truncated or shifted stream fails loudly at the first
+//!   misaligned section instead of silently misparsing.
+//!
+//! Corruption is never a panic: every reader method returns a
+//! [`SnapError`] naming the byte offset and what was being decoded, which
+//! `System::try_restore` wraps into `SimError::BadCheckpoint`.
+
+use std::fmt;
+
+/// Why a snapshot stream could not be decoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapError(pub String);
+
+impl fmt::Display for SnapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for SnapError {}
+
+/// FNV-1a 64-bit content hash — the checkpoint checksum and the
+/// config/kernel fingerprint function. Not cryptographic; it guards
+/// against truncation, bit rot, and mismatched inputs, not adversaries.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Append-only little-endian encoder.
+#[derive(Default)]
+pub struct SnapWriter {
+    buf: Vec<u8>,
+}
+
+impl SnapWriter {
+    pub fn new() -> Self {
+        SnapWriter { buf: Vec::new() }
+    }
+
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// Bit-exact float transport.
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    pub fn bool(&mut self, v: bool) {
+        self.u8(v as u8);
+    }
+
+    /// Length-prefixed UTF-8 string.
+    pub fn str(&mut self, s: &str) {
+        self.usize(s.len());
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Sequence length prefix; follow with exactly that many elements.
+    pub fn len(&mut self, n: usize) {
+        self.u64(n as u64);
+    }
+
+    /// Section marker — readers verify it with [`SnapReader::tag`].
+    pub fn tag(&mut self, t: u16) {
+        self.u16(t);
+    }
+
+    pub fn position(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Cursor over a snapshot byte stream; every decode is bounds-checked.
+pub struct SnapReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> SnapReader<'a> {
+    pub fn new(buf: &'a [u8]) -> Self {
+        SnapReader { buf, pos: 0 }
+    }
+
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], SnapError> {
+        if self.remaining() < n {
+            return Err(SnapError(format!(
+                "truncated stream at byte {}: need {} bytes for {}, {} left",
+                self.pos,
+                n,
+                what,
+                self.remaining()
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    pub fn u8(&mut self) -> Result<u8, SnapError> {
+        Ok(self.take(1, "u8")?[0])
+    }
+
+    pub fn u16(&mut self) -> Result<u16, SnapError> {
+        let b = self.take(2, "u16")?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    pub fn u32(&mut self) -> Result<u32, SnapError> {
+        let b = self.take(4, "u32")?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    pub fn u64(&mut self) -> Result<u64, SnapError> {
+        let b = self.take(8, "u64")?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    pub fn usize(&mut self) -> Result<usize, SnapError> {
+        let v = self.u64()?;
+        usize::try_from(v).map_err(|_| {
+            SnapError(format!(
+                "value {v} at byte {} does not fit in usize",
+                self.pos - 8
+            ))
+        })
+    }
+
+    pub fn f64(&mut self) -> Result<f64, SnapError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    pub fn bool(&mut self) -> Result<bool, SnapError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            v => Err(SnapError(format!(
+                "invalid bool byte {v:#x} at byte {}",
+                self.pos - 1
+            ))),
+        }
+    }
+
+    pub fn str(&mut self) -> Result<String, SnapError> {
+        let at = self.pos;
+        let n = self.usize()?;
+        let b = self.take(n, "string payload")?;
+        String::from_utf8(b.to_vec())
+            .map_err(|_| SnapError(format!("invalid UTF-8 string at byte {at}")))
+    }
+
+    /// Sequence length prefix. Rejects lengths that cannot possibly fit in
+    /// the remaining bytes (each element occupies at least one byte), so a
+    /// corrupted prefix fails here rather than in a giant allocation.
+    pub fn len(&mut self) -> Result<usize, SnapError> {
+        let at = self.pos;
+        let n = self.usize()?;
+        if n > self.remaining() {
+            return Err(SnapError(format!(
+                "sequence length {n} at byte {at} exceeds {} remaining bytes",
+                self.remaining()
+            )));
+        }
+        Ok(n)
+    }
+
+    /// Consume and verify a section marker written by [`SnapWriter::tag`].
+    pub fn tag(&mut self, expected: u16, what: &str) -> Result<(), SnapError> {
+        let at = self.pos;
+        let got = self.u16()?;
+        if got != expected {
+            return Err(SnapError(format!(
+                "bad section tag at byte {at}: expected {expected:#06x} ({what}), got {got:#06x}"
+            )));
+        }
+        Ok(())
+    }
+
+    /// Assert the stream was consumed exactly.
+    pub fn finish(self) -> Result<(), SnapError> {
+        if self.remaining() != 0 {
+            return Err(SnapError(format!(
+                "{} trailing bytes after byte {}",
+                self.remaining(),
+                self.pos
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_primitives() {
+        let mut w = SnapWriter::new();
+        w.u8(7);
+        w.u16(0xbeef);
+        w.u32(0xdead_beef);
+        w.u64(u64::MAX - 1);
+        w.usize(12345);
+        w.f64(-0.1);
+        w.bool(true);
+        w.bool(false);
+        w.str("héllo");
+        w.tag(0x42);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u16().unwrap(), 0xbeef);
+        assert_eq!(r.u32().unwrap(), 0xdead_beef);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.usize().unwrap(), 12345);
+        assert_eq!(r.f64().unwrap().to_bits(), (-0.1f64).to_bits());
+        assert!(r.bool().unwrap());
+        assert!(!r.bool().unwrap());
+        assert_eq!(r.str().unwrap(), "héllo");
+        r.tag(0x42, "test").unwrap();
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        let mut w = SnapWriter::new();
+        w.u64(99);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes[..5]);
+        let e = r.u64().unwrap_err();
+        assert!(e.0.contains("truncated"), "{e}");
+    }
+
+    #[test]
+    fn bad_bool_and_bad_tag_are_named() {
+        let mut w = SnapWriter::new();
+        w.u8(9);
+        w.tag(0x1111);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        assert!(r.bool().unwrap_err().0.contains("invalid bool"));
+        let e = r.tag(0x2222, "sms").unwrap_err();
+        assert!(e.0.contains("sms") && e.0.contains("0x2222"), "{e}");
+    }
+
+    #[test]
+    fn oversized_sequence_length_rejected() {
+        let mut w = SnapWriter::new();
+        w.len(1 << 40);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        assert!(r.len().unwrap_err().0.contains("exceeds"));
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut w = SnapWriter::new();
+        w.u8(1);
+        w.u8(2);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        r.u8().unwrap();
+        assert!(r.finish().unwrap_err().0.contains("trailing"));
+    }
+
+    #[test]
+    fn fnv_is_stable_and_input_sensitive() {
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_ne!(fnv1a(b"a"), fnv1a(b"b"));
+        assert_ne!(fnv1a(b"ab"), fnv1a(b"ba"));
+    }
+}

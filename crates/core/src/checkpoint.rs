@@ -1,0 +1,387 @@
+//! Versioned, checksummed full-system checkpoints.
+//!
+//! This module owns the *container* format; the component state inside it
+//! is written by [`crate::System::snapshot`] and read back by
+//! [`crate::System::try_restore`] through each component's `snap`/`restore`
+//! codec (`ndp_common::snap`).
+//!
+//! ## File layout
+//!
+//! ```text
+//! magic        u64   "NDPCKPT\0" (little-endian)
+//! schema       u32   SCHEMA_VERSION — bumped on any payload layout change
+//! config_fp    u64   FNV-1a of the SystemConfig debug rendering
+//! kernel_fp    u64   FNV-1a of the compiled kernel (program + blocks)
+//! cycle        u64   simulated cycle the snapshot was taken at
+//! payload_len  u64   exact byte length of the payload that follows
+//! checksum     u64   FNV-1a of the payload bytes
+//! payload      [u8]  section-tagged component state (System::snapshot)
+//! ```
+//!
+//! Every rejection path — wrong magic, unknown schema, fingerprint
+//! mismatch, truncation, trailing bytes, checksum failure, or a decode
+//! error inside the payload — surfaces as a typed
+//! [`SimError::BadCheckpoint`] naming the failed check; corrupt input is
+//! never a panic and never a silently-wrong resume.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use ndp_common::config::SystemConfig;
+use ndp_common::error::SimError;
+use ndp_common::ids::Cycle;
+use ndp_common::snap::{fnv1a, SnapReader, SnapWriter};
+use ndp_compiler::CompiledKernel;
+
+/// File magic, read/written as a little-endian `u64`.
+pub const MAGIC: u64 = u64::from_le_bytes(*b"NDPCKPT\0");
+
+/// Payload schema version. Bump whenever any component's `snap` layout
+/// changes; old files are then rejected with a `schema` check failure
+/// instead of being misdecoded.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// File extension used for per-workload checkpoints when
+/// `NDP_CHECKPOINT_PATH` / `NDP_RESUME` name a directory.
+pub const EXTENSION: &str = "ndpckpt";
+
+/// Fixed header size in bytes (magic + schema + 5 × u64 fields).
+pub const HEADER_BYTES: usize = 8 + 4 + 8 * 5;
+
+/// Parsed checkpoint header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Header {
+    pub schema: u32,
+    pub config_fp: u64,
+    pub kernel_fp: u64,
+    pub cycle: Cycle,
+    pub payload_len: u64,
+    pub checksum: u64,
+}
+
+/// Shorthand for the typed rejection error.
+pub fn bad(check: &'static str, detail: impl Into<String>) -> SimError {
+    SimError::BadCheckpoint {
+        check,
+        detail: detail.into(),
+    }
+}
+
+/// Fingerprint of a system configuration: FNV-1a over its debug rendering.
+/// Guards a resume against a config that would rebuild the machine with
+/// different capacities, timings or policies than the snapshot assumed.
+pub fn config_fingerprint(cfg: &SystemConfig) -> u64 {
+    fnv1a(format!("{cfg:?}").as_bytes())
+}
+
+/// Fingerprint of a compiled kernel: FNV-1a over the program text and its
+/// offload-block partition. Guards a resume against restoring warp state
+/// into a different program.
+pub fn kernel_fingerprint(kernel: &CompiledKernel) -> u64 {
+    fnv1a(format!("{:?}|{:?}", kernel.program, kernel.blocks).as_bytes())
+}
+
+impl Header {
+    /// Serialize the header for `payload`.
+    pub fn write(&self, w: &mut SnapWriter) {
+        w.u64(MAGIC);
+        w.u32(self.schema);
+        w.u64(self.config_fp);
+        w.u64(self.kernel_fp);
+        w.u64(self.cycle);
+        w.u64(self.payload_len);
+        w.u64(self.checksum);
+    }
+
+    /// Parse and structurally validate a header (magic and schema). The
+    /// fingerprint and checksum checks need the caller's config/kernel and
+    /// the payload, so they live in [`open`].
+    pub fn read(r: &mut SnapReader<'_>) -> Result<Header, SimError> {
+        let magic = r.u64().map_err(|e| bad("magic", e.0))?;
+        if magic != MAGIC {
+            return Err(bad(
+                "magic",
+                format!("not a checkpoint file (magic {magic:#018x})"),
+            ));
+        }
+        let schema = r.u32().map_err(|e| bad("schema", e.0))?;
+        if schema != SCHEMA_VERSION {
+            return Err(bad(
+                "schema",
+                format!("checkpoint schema v{schema}, this build reads v{SCHEMA_VERSION}"),
+            ));
+        }
+        let header = Header {
+            schema,
+            config_fp: r.u64().map_err(|e| bad("header", e.0))?,
+            kernel_fp: r.u64().map_err(|e| bad("header", e.0))?,
+            cycle: r.u64().map_err(|e| bad("header", e.0))?,
+            payload_len: r.u64().map_err(|e| bad("header", e.0))?,
+            checksum: r.u64().map_err(|e| bad("header", e.0))?,
+        };
+        Ok(header)
+    }
+}
+
+/// Validate `bytes` as a checkpoint for exactly this (config, kernel)
+/// pair: magic, schema, both fingerprints, payload length, and checksum.
+/// Returns the header and the verified payload slice.
+pub fn open<'a>(
+    bytes: &'a [u8],
+    cfg: &SystemConfig,
+    kernel: &CompiledKernel,
+) -> Result<(Header, &'a [u8]), SimError> {
+    let mut r = SnapReader::new(bytes);
+    let header = Header::read(&mut r)?;
+    let want_cfg = config_fingerprint(cfg);
+    if header.config_fp != want_cfg {
+        return Err(bad(
+            "config",
+            format!(
+                "checkpoint was taken under config {:#018x}, this run has {want_cfg:#018x}",
+                header.config_fp
+            ),
+        ));
+    }
+    let want_kernel = kernel_fingerprint(kernel);
+    if header.kernel_fp != want_kernel {
+        return Err(bad(
+            "kernel",
+            format!(
+                "checkpoint was taken for kernel {:#018x}, this run compiles {want_kernel:#018x}",
+                header.kernel_fp
+            ),
+        ));
+    }
+    let payload = &bytes[r.position()..];
+    if payload.len() as u64 != header.payload_len {
+        return Err(bad(
+            "length",
+            format!(
+                "header promises {} payload bytes, file carries {}",
+                header.payload_len,
+                payload.len()
+            ),
+        ));
+    }
+    let sum = fnv1a(payload);
+    if sum != header.checksum {
+        return Err(bad(
+            "checksum",
+            format!(
+                "payload hashes to {sum:#018x}, header records {:#018x}",
+                header.checksum
+            ),
+        ));
+    }
+    Ok((header, payload))
+}
+
+/// Seal a payload into a complete checkpoint file image.
+pub fn seal(cfg: &SystemConfig, kernel: &CompiledKernel, cycle: Cycle, payload: Vec<u8>) -> Vec<u8> {
+    let mut w = SnapWriter::new();
+    Header {
+        schema: SCHEMA_VERSION,
+        config_fp: config_fingerprint(cfg),
+        kernel_fp: kernel_fingerprint(kernel),
+        cycle,
+        payload_len: payload.len() as u64,
+        checksum: fnv1a(&payload),
+    }
+    .write(&mut w);
+    let mut out = w.into_bytes();
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Write `bytes` to `path` atomically: a dotted temp file in the same
+/// directory, flushed, then renamed over the target. A reader (or a resume
+/// after a kill mid-save) only ever sees the previous complete file or the
+/// new complete file, never a torn one.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+    let name = path
+        .file_name()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "checkpoint path has no file name"))?;
+    let tmp_name = format!(".{}.tmp{}", name.to_string_lossy(), std::process::id());
+    let tmp = match dir {
+        Some(d) => d.join(&tmp_name),
+        None => PathBuf::from(&tmp_name),
+    };
+    fs::write(&tmp, bytes)?;
+    match fs::rename(&tmp, path) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            let _ = fs::remove_file(&tmp);
+            Err(e)
+        }
+    }
+}
+
+/// Resolve where a run should save (or look for) its checkpoint: a
+/// directory gets one file per (workload, config) cell —
+/// `<dir>/<workload>-<config_fp>.ndpckpt`, the sweep/`--resume-dir` form,
+/// where matrix runs execute each workload under many configurations —
+/// while anything else is used verbatim (the single-run form).
+pub fn file_for(path: &Path, workload: &str, config_fp: u64) -> PathBuf {
+    if path.is_dir() {
+        path.join(format!("{workload}-{config_fp:016x}.{EXTENSION}"))
+    } else {
+        path.to_path_buf()
+    }
+}
+
+/// Periodic-checkpoint policy, armed by `NDP_CHECKPOINT_EVERY` (cycles)
+/// plus `NDP_CHECKPOINT_PATH` (file, or directory for per-workload files).
+/// Saves land on the first 256-cycle check boundary at or after each
+/// multiple of `every` — the same boundaries the drain/watchdog checks run
+/// on, so a per-cycle and an event-driven run checkpoint at identical
+/// cycles.
+pub struct AutoCheckpoint {
+    every: u64,
+    path: PathBuf,
+    next_at: Cycle,
+}
+
+impl AutoCheckpoint {
+    /// Read the policy from the environment. `NDP_CHECKPOINT_EVERY` without
+    /// a path is a fatal misconfiguration (matching the loud
+    /// `parse_or_die` policy); a path without `EVERY` disables periodic
+    /// saves.
+    pub fn from_env(workload: &str, config_fp: u64, now: Cycle) -> Option<AutoCheckpoint> {
+        let every = ndp_common::env::parse_or_die::<u64>("NDP_CHECKPOINT_EVERY").unwrap_or(0);
+        if every == 0 {
+            return None;
+        }
+        let Some(path) = ndp_common::env::string("NDP_CHECKPOINT_PATH") else {
+            panic!("NDP_CHECKPOINT_EVERY is set but NDP_CHECKPOINT_PATH is not");
+        };
+        Some(AutoCheckpoint {
+            every,
+            path: file_for(Path::new(&path), workload, config_fp),
+            // Resumed runs pick up the cadence mid-stream instead of
+            // re-saving at cycles the interrupted run already covered.
+            next_at: (now / every + 1) * every,
+        })
+    }
+
+    /// If a save is due at `now`, advance the cadence and return the
+    /// target path.
+    pub fn due(&mut self, now: Cycle) -> Option<&Path> {
+        if now < self.next_at {
+            return None;
+        }
+        self.next_at = (now / self.every + 1) * self.every;
+        Some(&self.path)
+    }
+}
+
+/// Resolve `NDP_RESUME` for one (workload, config) cell: `None` when
+/// unset, or when it names a directory with no checkpoint for this cell
+/// (that run starts fresh — the sweep form resumes whichever cells were
+/// interrupted).
+pub fn resume_path(workload: &str, config_fp: u64) -> Option<PathBuf> {
+    let raw = ndp_common::env::string("NDP_RESUME")?;
+    let path = Path::new(&raw);
+    if path.is_dir() {
+        let f = file_for(path, workload, config_fp);
+        f.exists().then_some(f)
+    } else {
+        Some(path.to_path_buf())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg_and_kernel() -> (SystemConfig, CompiledKernel) {
+        let p = ndp_workloads::Workload::Vadd.build(&ndp_workloads::Scale { warps: 4, iters: 1 });
+        let k = ndp_compiler::compile(&p, &ndp_compiler::CompilerConfig::default());
+        (SystemConfig::baseline(), k)
+    }
+
+    #[test]
+    fn seal_then_open_round_trips() {
+        let (cfg, k) = cfg_and_kernel();
+        let bytes = seal(&cfg, &k, 512, vec![1, 2, 3, 4]);
+        assert_eq!(bytes.len(), HEADER_BYTES + 4);
+        let (h, payload) = open(&bytes, &cfg, &k).expect("valid checkpoint");
+        assert_eq!(h.cycle, 512);
+        assert_eq!(payload, &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn open_rejects_garbage_and_mismatches() {
+        let (cfg, k) = cfg_and_kernel();
+        let check = |bytes: &[u8], want: &str| {
+            match open(bytes, &cfg, &k) {
+                Err(SimError::BadCheckpoint { check, .. }) => assert_eq!(check, want),
+                other => panic!("expected BadCheckpoint[{want}], got {other:?}"),
+            };
+        };
+        check(b"not a checkpoint at all....", "magic");
+        check(&[], "magic");
+
+        let good = seal(&cfg, &k, 0, vec![9; 32]);
+        let mut v = good.clone();
+        v[8] ^= 0xff; // schema field
+        check(&v, "schema");
+        let mut v = good.clone();
+        v[12] ^= 0x01; // config fingerprint
+        check(&v, "config");
+        let mut v = good.clone();
+        v[20] ^= 0x01; // kernel fingerprint
+        check(&v, "kernel");
+        let mut v = good.clone();
+        v.truncate(good.len() - 1); // truncated payload
+        check(&v, "length");
+        let mut v = good.clone();
+        v.push(0); // trailing junk
+        check(&v, "length");
+        let mut v = good.clone();
+        *v.last_mut().unwrap() ^= 0x80; // payload corruption
+        check(&v, "checksum");
+
+        // A different config is rejected by fingerprint.
+        let mut other = cfg.clone();
+        other.gpu.num_sms += 1;
+        match open(&good, &other, &k) {
+            Err(SimError::BadCheckpoint { check, .. }) => assert_eq!(check, "config"),
+            other => panic!("expected BadCheckpoint[config], got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn atomic_write_replaces_whole_file() {
+        let dir = std::env::temp_dir().join(format!("ndpckpt-test-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let target = dir.join("a.ndpckpt");
+        write_atomic(&target, b"first").unwrap();
+        write_atomic(&target, b"second").unwrap();
+        assert_eq!(fs::read(&target).unwrap(), b"second");
+        // No temp droppings left behind.
+        let leftovers: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name())
+            .filter(|n| n.to_string_lossy().contains("tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "{leftovers:?}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn directory_paths_resolve_per_workload() {
+        let dir = std::env::temp_dir().join(format!("ndpckpt-dir-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        assert_eq!(
+            file_for(&dir, "VADD", 0xabcd),
+            dir.join("VADD-000000000000abcd.ndpckpt"),
+            "directory form is per-(workload, config) cell"
+        );
+        let file = dir.join("single.ndpckpt");
+        assert_eq!(file_for(&file, "VADD", 0xabcd), file, "file form is verbatim");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

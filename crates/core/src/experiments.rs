@@ -3,11 +3,14 @@
 //! `ndp-bench` harness binaries.
 
 use std::collections::VecDeque;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use ndp_common::config::SystemConfig;
+use ndp_common::error::SimError;
+use ndp_compiler::{compile, CompilerConfig};
 use ndp_workloads::{Scale, Workload, WORKLOADS};
 
+use crate::checkpoint;
 use crate::result::RunResult;
 use crate::system::System;
 
@@ -19,7 +22,23 @@ pub const DEFAULT_MAX_CYCLES: u64 = 40_000_000;
 /// invariant means the simulator itself is broken.
 pub fn run_workload(w: Workload, cfg: SystemConfig, scale: &Scale, max_cycles: u64) -> RunResult {
     let program = w.build(scale);
-    let sys = System::new(cfg, &program);
+    // `NDP_RESUME` continues an interrupted run from its checkpoint
+    // instead of starting fresh; fingerprint checks guarantee the file
+    // matches this exact (workload, config) cell.
+    let sys = match checkpoint::resume_path(w.name(), checkpoint::config_fingerprint(&cfg)) {
+        Some(path) => {
+            let kernel = Arc::new(compile(&program, &CompilerConfig::default()));
+            match System::restore_from_file(cfg.clone(), kernel, &path) {
+                Ok(sys) => sys,
+                // A kernel-fingerprint mismatch means the snapshot was taken
+                // at a different problem scale (same workload and config cell
+                // name); that is a stale cell, not corruption — start fresh.
+                Err(SimError::BadCheckpoint { check: "kernel", .. }) => System::new(cfg, &program),
+                Err(e) => panic!("{}: resume from {}: {e}", w.name(), path.display()),
+            }
+        }
+        None => System::new(cfg, &program),
+    };
     let mut r = sys
         .run(max_cycles)
         .unwrap_or_else(|e| panic!("{}/{:?}: {e}", w.name(), "experiment"));

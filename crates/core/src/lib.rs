@@ -14,6 +14,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod checkpoint;
 pub mod experiments;
 pub mod fabric_model;
 pub mod fig5;

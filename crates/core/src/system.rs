@@ -1,5 +1,7 @@
 //! Full-system wiring and the main simulation loop.
 
+use std::fs;
+use std::path::Path;
 use std::sync::Arc;
 
 use ndp_common::config::{OffloadPolicy, SystemConfig};
@@ -12,6 +14,7 @@ use ndp_common::obs::perf::{Perf, PerfConfig, StageOutcome};
 use ndp_common::obs::{Obs, ObsConfig};
 use ndp_common::packet::{Packet, PacketKind};
 use ndp_common::port::{Component, Edge, Fabric, FabricCtx, Op, Stage};
+use ndp_common::snap::{SnapError, SnapReader, SnapWriter};
 use ndp_common::watchdog::{
     CreditBalance, QueueDepth, StallReport, Watchdog, DEFAULT_WATCHDOG_CYCLES,
 };
@@ -24,9 +27,26 @@ use ndp_isa::program::Program;
 use ndp_memnet::MemNetwork;
 use ndp_nsu::Nsu;
 
+use crate::checkpoint;
 use crate::offload::OffloadController;
 use crate::result::RunResult;
 use crate::trace::{TraceSite, Tracer};
+
+// Section tags of the checkpoint payload, in `System::snapshot` order. A
+// reader that drifts out of sync fails on the next tag with a named error
+// instead of misdecoding everything downstream.
+const SEC_CLOCK: u16 = 0x10;
+const SEC_SMS: u16 = 0x11;
+const SEC_SLICES: u16 = 0x12;
+const SEC_LINKS: u16 = 0x13;
+const SEC_STACKS: u16 = 0x14;
+const SEC_NET: u16 = 0x15;
+const SEC_NSUS: u16 = 0x16;
+const SEC_CTRL: u16 = 0x17;
+const SEC_INVARIANTS: u16 = 0x18;
+const SEC_WATCHDOG: u16 = 0x19;
+const SEC_FAULTS: u16 = 0x1a;
+const SEC_OBS: u16 = 0x1b;
 
 /// The simulated machine.
 pub struct System {
@@ -326,6 +346,11 @@ impl System {
             .offer_sample("memnet_in_flight", self.net.queued_packets() as f64);
     }
 
+    /// The current simulated cycle.
+    pub fn cycle(&self) -> Cycle {
+        self.now
+    }
+
     /// Everything drained?
     pub fn is_done(&self) -> bool {
         self.sms.iter().all(|s| s.is_done())
@@ -349,21 +374,21 @@ impl System {
     /// watchdog, which aborts the run early with a structured
     /// [`StallReport`] instead of spinning silently to the cycle cap.
     fn run_inner(&mut self, max_cycles: u64) -> Result<Outcome, SimError> {
+        let mut auto = checkpoint::AutoCheckpoint::from_env(
+            self.kernel.program.name,
+            checkpoint::config_fingerprint(&self.cfg),
+            self.now,
+        );
+        let stall_dump = ndp_common::env::string("NDP_STALL_DUMP");
         let mut out = Outcome {
             timed_out: true,
             stall: None,
         };
-        while self.now < max_cycles {
-            if self.skip {
-                if let Some(j) = self.jump_target(max_cycles) {
-                    self.account_jump(j);
-                    self.now = j;
-                } else {
-                    self.try_tick()?;
-                }
-            } else {
-                self.try_tick()?;
-            }
+        // The boundary checks sit at the *top* of the loop so they also run
+        // at the entry cycle: a system restored from a checkpoint re-enters
+        // here mid-run (possibly already drained, or mid-stall), and must
+        // check/complete at exactly the cycle the uninterrupted run did.
+        loop {
             if self.now.is_multiple_of(256) {
                 if let Some(v) = self.invariants.first_violation() {
                     return Err(SimError::InvariantViolation {
@@ -375,16 +400,42 @@ impl System {
                     out.timed_out = false;
                     break;
                 }
+                // Periodic checkpoints ride the same boundary as the
+                // drain/watchdog checks, so per-cycle and event-driven
+                // runs save at identical cycles. Reading state only —
+                // a save never perturbs the simulation.
+                if let Some(a) = &mut auto {
+                    if let Some(path) = a.due(self.now) {
+                        let image = self.snapshot();
+                        checkpoint::write_atomic(path, &image).map_err(|e| {
+                            checkpoint::bad("write", format!("{}: {e}", path.display()))
+                        })?;
+                    }
+                }
                 let instrs: u64 = self.sms.iter().map(|s| s.stats.issued).sum::<u64>()
                     + self.nsus.iter().map(|n| n.instrs).sum::<u64>();
                 if let Some(w) = &mut self.watchdog {
                     w.note_instrs(self.now, instrs);
                     if let Some(stalled_for) = w.stalled_for(self.now) {
                         out.stall = Some(Box::new(self.build_stall_report(stalled_for)));
+                        if let Some(dir) = &stall_dump {
+                            self.dump_stall_checkpoint(Path::new(dir));
+                        }
                         break;
                     }
                 }
             }
+            if self.now >= max_cycles {
+                break;
+            }
+            if self.skip {
+                if let Some(j) = self.jump_target(max_cycles) {
+                    self.account_jump(j);
+                    self.now = j;
+                    continue;
+                }
+            }
+            self.try_tick()?;
         }
         if out.timed_out && out.stall.is_none() && self.is_done() {
             out.timed_out = false;
@@ -677,6 +728,241 @@ impl System {
             tokens,
             protocol: self.invariants.counters(),
             wait_for,
+        }
+    }
+
+    /// Serialize the complete mutable machine state into a versioned,
+    /// checksummed checkpoint image (the full file contents, header
+    /// included).
+    ///
+    /// Included: the clock and execution-strategy flags, every SM (warp
+    /// contexts, scoreboards, L1 + MSHRs, NDP buffers, output queue),
+    /// every L2 slice, both GPU link directions, every HMC stack (vault
+    /// queues, DRAM bank timing, port FIFOs), the memory network, every
+    /// NSU (warp slots, command/read/write buffers, credits), the offload
+    /// controller (credit pools, hill climber, WTA counters), the
+    /// protocol-invariant engine, the watchdog, the fault injector, and
+    /// the observability layer (it feeds `RunResult`).
+    ///
+    /// Deliberately excluded — rebuilt by fresh construction on restore:
+    /// the config, the compiled kernel and everything derived from them
+    /// (capacities, timings, memory map, topology), both guarded by
+    /// header fingerprints; the packet tracer and the perf self-profiler,
+    /// which are host-side diagnostics that never influence simulated
+    /// state.
+    pub fn snapshot(&self) -> Vec<u8> {
+        let mut w = SnapWriter::new();
+        w.tag(SEC_CLOCK);
+        w.u64(self.now);
+        w.bool(self.skip);
+        w.bool(self.parallel);
+        w.tag(SEC_SMS);
+        w.len(self.sms.len());
+        for sm in &self.sms {
+            sm.snap(&mut w);
+        }
+        w.tag(SEC_SLICES);
+        w.len(self.slices.len());
+        for s in &self.slices {
+            s.snap(&mut w);
+        }
+        w.tag(SEC_LINKS);
+        w.len(self.up.len());
+        for l in &self.up {
+            l.snap(&mut w);
+        }
+        w.len(self.down.len());
+        for l in &self.down {
+            l.snap(&mut w);
+        }
+        w.tag(SEC_STACKS);
+        w.len(self.stacks.len());
+        for st in &self.stacks {
+            st.snap(&mut w);
+        }
+        w.tag(SEC_NET);
+        self.net.snap(&mut w);
+        w.tag(SEC_NSUS);
+        w.len(self.nsus.len());
+        for n in &self.nsus {
+            n.snap(&mut w);
+        }
+        w.tag(SEC_CTRL);
+        self.ctrl.snap(&mut w);
+        w.tag(SEC_INVARIANTS);
+        self.invariants.snap(&mut w);
+        w.tag(SEC_WATCHDOG);
+        w.bool(self.watchdog.is_some());
+        if let Some(wd) = &self.watchdog {
+            wd.snap(&mut w);
+        }
+        w.tag(SEC_FAULTS);
+        w.bool(self.faults.is_some());
+        if let Some(f) = &self.faults {
+            f.snap(&mut w);
+        }
+        w.tag(SEC_OBS);
+        self.obs.snap(&mut w);
+        checkpoint::seal(&self.cfg, &self.kernel, self.now, w.into_bytes())
+    }
+
+    /// Rebuild a system from a checkpoint image taken by
+    /// [`System::snapshot`] under exactly this (config, kernel) pair.
+    ///
+    /// The machine is first constructed fresh (re-deriving every
+    /// config/kernel-dependent shape), then overwritten component by
+    /// component. Any mismatch — magic, schema version, config or kernel
+    /// fingerprint, truncation, checksum, or a payload that does not fit
+    /// the constructed shapes — comes back as a typed
+    /// [`SimError::BadCheckpoint`]; corrupt input never panics and never
+    /// resumes silently wrong.
+    pub fn try_restore(
+        cfg: SystemConfig,
+        kernel: Arc<CompiledKernel>,
+        bytes: &[u8],
+    ) -> Result<System, SimError> {
+        let (header, payload) = checkpoint::open(bytes, &cfg, &kernel)?;
+        let mut sys = System::try_with_kernel(cfg, kernel)?;
+        let mut r = SnapReader::new(payload);
+        sys.restore_payload(&mut r)
+            .and_then(|()| r.finish())
+            .map_err(|e| checkpoint::bad("decode", e.0))?;
+        if sys.now != header.cycle {
+            return Err(checkpoint::bad(
+                "cycle",
+                format!(
+                    "header says cycle {}, payload carries cycle {}",
+                    header.cycle, sys.now
+                ),
+            ));
+        }
+        Ok(sys)
+    }
+
+    /// Overwrite the freshly constructed machine from a verified payload.
+    fn restore_payload(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        fn expect(what: &str, want: usize, got: usize) -> Result<(), SnapError> {
+            if want == got {
+                Ok(())
+            } else {
+                Err(SnapError(format!(
+                    "system has {want} {what}, checkpoint has {got}"
+                )))
+            }
+        }
+        r.tag(SEC_CLOCK, "clock")?;
+        self.now = r.u64()?;
+        self.skip = r.bool()?;
+        self.parallel = r.bool()?;
+        r.tag(SEC_SMS, "sms")?;
+        expect("SMs", self.sms.len(), r.len()?)?;
+        for sm in &mut self.sms {
+            sm.restore(r)?;
+        }
+        r.tag(SEC_SLICES, "slices")?;
+        expect("L2 slices", self.slices.len(), r.len()?)?;
+        for s in &mut self.slices {
+            s.restore(r)?;
+        }
+        r.tag(SEC_LINKS, "links")?;
+        expect("up links", self.up.len(), r.len()?)?;
+        for l in &mut self.up {
+            l.restore(r)?;
+        }
+        expect("down links", self.down.len(), r.len()?)?;
+        for l in &mut self.down {
+            l.restore(r)?;
+        }
+        r.tag(SEC_STACKS, "stacks")?;
+        expect("HMC stacks", self.stacks.len(), r.len()?)?;
+        for st in &mut self.stacks {
+            st.restore(r)?;
+        }
+        r.tag(SEC_NET, "memnet")?;
+        self.net.restore(r)?;
+        r.tag(SEC_NSUS, "nsus")?;
+        expect("NSUs", self.nsus.len(), r.len()?)?;
+        for n in &mut self.nsus {
+            n.restore(r)?;
+        }
+        r.tag(SEC_CTRL, "offload controller")?;
+        self.ctrl.restore(r)?;
+        r.tag(SEC_INVARIANTS, "invariants")?;
+        self.invariants.restore(r)?;
+        r.tag(SEC_WATCHDOG, "watchdog")?;
+        self.watchdog = if r.bool()? {
+            let mut wd = Watchdog::new(DEFAULT_WATCHDOG_CYCLES, &Tx::NAMES);
+            wd.restore(r)?;
+            Some(wd)
+        } else {
+            None
+        };
+        r.tag(SEC_FAULTS, "faults")?;
+        self.faults = if r.bool()? {
+            Some(FaultInjector::restore(r)?)
+        } else {
+            None
+        };
+        r.tag(SEC_OBS, "obs")?;
+        self.obs = Obs::restore(r)?;
+        Ok(())
+    }
+
+    /// Snapshot to `path` atomically (temp file + rename), so an
+    /// interruption mid-save leaves the previous complete checkpoint
+    /// intact.
+    pub fn save_checkpoint(&self, path: &Path) -> Result<(), SimError> {
+        checkpoint::write_atomic(path, &self.snapshot())
+            .map_err(|e| checkpoint::bad("write", format!("{}: {e}", path.display())))
+    }
+
+    /// [`System::try_restore`] from a file on disk.
+    pub fn restore_from_file(
+        cfg: SystemConfig,
+        kernel: Arc<CompiledKernel>,
+        path: &Path,
+    ) -> Result<System, SimError> {
+        let bytes = fs::read(path)
+            .map_err(|e| checkpoint::bad("read", format!("{}: {e}", path.display())))?;
+        Self::try_restore(cfg, kernel, &bytes)
+    }
+
+    /// Advance to exactly `target` using the session's execution strategy
+    /// (per-cycle or event-driven), without the completion/watchdog checks
+    /// of [`System::run`] — the "interrupt the run at cycle N" hook the
+    /// checkpoint tests and external drivers use before snapshotting.
+    pub fn run_until(&mut self, target: Cycle) -> Result<(), SimError> {
+        while self.now < target {
+            if self.skip {
+                if let Some(j) = self.jump_target(target) {
+                    self.account_jump(j);
+                    self.now = j;
+                    continue;
+                }
+            }
+            self.try_tick()?;
+        }
+        Ok(())
+    }
+
+    /// Best-effort post-mortem snapshot next to a watchdog stall report
+    /// (`NDP_STALL_DUMP=<dir>`). A write failure is reported on stderr but
+    /// never masks the stall report itself.
+    fn dump_stall_checkpoint(&self, dir: &Path) {
+        let file = dir.join(format!(
+            "stall-{}-cycle{}.{}",
+            self.kernel.program.name,
+            self.now,
+            checkpoint::EXTENSION
+        ));
+        let res = fs::create_dir_all(dir)
+            .and_then(|()| checkpoint::write_atomic(&file, &self.snapshot()));
+        match res {
+            Ok(()) => eprintln!(
+                "watchdog stall: post-mortem checkpoint at {}",
+                file.display()
+            ),
+            Err(e) => eprintln!("watchdog stall: post-mortem checkpoint failed: {e}"),
         }
     }
 }

@@ -318,6 +318,65 @@ impl WarpExec {
         step
     }
 
+    /// Checkpoint all dynamic state. `match_end` is static (derived from the
+    /// program in [`WarpExec::new`]) and is not serialized.
+    pub fn snap(&self, w: &mut ndp_common::snap::SnapWriter) {
+        w.usize(self.pc);
+        w.len(self.loops.len());
+        for f in &self.loops {
+            w.usize(f.body_pc);
+            w.u32(f.remaining);
+            w.u32(f.iter);
+        }
+        w.len(self.regs.len());
+        for r in &self.regs {
+            for lane in r {
+                w.u64(*lane);
+            }
+        }
+        w.u32(self.warp_global);
+        w.u32(self.active);
+        w.u64(self.seed);
+        w.bool(self.done);
+        w.u64(self.executed);
+    }
+
+    /// Overwrite dynamic state from a checkpoint stream. `self` must have
+    /// been built with [`WarpExec::new`] against the same program (that
+    /// supplies `match_end`).
+    pub fn restore(
+        &mut self,
+        r: &mut ndp_common::snap::SnapReader<'_>,
+    ) -> Result<(), ndp_common::snap::SnapError> {
+        self.pc = r.usize()?;
+        self.loops.clear();
+        for _ in 0..r.len()? {
+            self.loops.push(LoopFrame {
+                body_pc: r.usize()?,
+                remaining: r.u32()?,
+                iter: r.u32()?,
+            });
+        }
+        let nregs = r.len()?;
+        if nregs != self.regs.len() {
+            return Err(ndp_common::snap::SnapError(format!(
+                "warp has {} registers, checkpoint has {nregs}",
+                self.regs.len()
+            )));
+        }
+        for reg in &mut self.regs {
+            for lane in reg.iter_mut() {
+                *lane = r.u64()?;
+            }
+        }
+        self.warp_global = r.u32()?;
+        self.active = r.u32()?;
+        self.seed = r.u64()?;
+        self.done = r.bool()?;
+        self.executed = r.u64()?;
+        Ok(())
+    }
+
     fn execute(&mut self, instr: Instr) {
         match instr {
             Instr::Alu { op, dst, a, b, c } => {

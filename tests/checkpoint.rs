@@ -1,0 +1,383 @@
+//! Checkpoint/resume equivalence matrix and rejection tests.
+//!
+//! The contract under test: **a resumed run is byte-identical to an
+//! uninterrupted one**. For every workload, snapshot cycle, execution mode
+//! (per-cycle, event-driven, parallel) and fault schedule, snapshotting at
+//! cycle N, dropping the live system, restoring from the serialized bytes
+//! and running to completion must produce exactly the `{:#?}` rendering an
+//! uninterrupted run produces. And the flip side: corrupted, truncated,
+//! version-bumped or config-mismatched checkpoints are rejected with a
+//! typed [`SimError::BadCheckpoint`] naming the failed check — never a
+//! panic, never a silently wrong resume.
+
+use std::sync::Arc;
+
+use ndp_core::checkpoint;
+use standardized_ndp::prelude::*;
+
+const MAX: u64 = 30_000_000;
+
+fn scale() -> Scale {
+    Scale { warps: 32, iters: 2 }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Mode {
+    PerCycle,
+    Event,
+    Parallel,
+}
+
+const MODES: [Mode; 3] = [Mode::PerCycle, Mode::Event, Mode::Parallel];
+
+fn small_ndp() -> SystemConfig {
+    let mut cfg = SystemConfig::naive_ndp();
+    cfg.gpu.num_sms = 8;
+    cfg
+}
+
+/// A benign seeded fault schedule (delays only) that every workload
+/// absorbs: the run still drains, but the injector's decision stream and
+/// held packets are live state the checkpoint must carry.
+fn delay_faults() -> FaultConfig {
+    FaultConfig {
+        seed: 7,
+        delay_prob: 0.05,
+        delay_cycles: 200,
+        ..Default::default()
+    }
+}
+
+fn fresh(cfg: &SystemConfig, w: Workload, mode: Mode, faults: Option<FaultConfig>) -> System {
+    let p = w.build(&scale());
+    let mut sys = System::new(cfg.clone(), &p);
+    match mode {
+        Mode::PerCycle => {
+            sys.set_skip(false);
+            sys.set_parallel(false);
+        }
+        Mode::Event => {
+            sys.set_skip(true);
+            sys.set_parallel(false);
+        }
+        Mode::Parallel => {
+            sys.set_skip(true);
+            sys.set_parallel(true);
+        }
+    }
+    if let Some(f) = faults {
+        sys.inject_faults(f);
+    }
+    sys
+}
+
+fn kernel_for(w: Workload) -> Arc<ndp_compiler::CompiledKernel> {
+    Arc::new(compile(&w.build(&scale()), &CompilerConfig::default()))
+}
+
+/// Snapshot a `mode` run of `w` at `snap_at`, restore into a brand-new
+/// system, run to completion, and demand the exact golden rendering.
+fn assert_resume_equivalent(
+    cfg: &SystemConfig,
+    w: Workload,
+    mode: Mode,
+    faults: Option<FaultConfig>,
+    snap_at: u64,
+    golden: &str,
+) {
+    let mut sys = fresh(cfg, w, mode, faults);
+    sys.run_until(snap_at)
+        .expect("no violation before the snapshot point");
+    let bytes = sys.snapshot();
+    drop(sys); // the "interruption"
+
+    let resumed = System::try_restore(cfg.clone(), kernel_for(w), &bytes)
+        .expect("pristine checkpoint accepted");
+    let r = resumed.run(MAX).expect("no violation after resume");
+    assert_eq!(
+        format!("{r:#?}"),
+        golden,
+        "{}/{mode:?} resumed at cycle {snap_at} diverged from the uninterrupted run",
+        w.name()
+    );
+}
+
+/// Uninterrupted golden rendering for one (config, workload, mode, faults)
+/// cell, plus the completion cycle (so snapshot points can be placed
+/// strictly before the run drains).
+fn golden(cfg: &SystemConfig, w: Workload, mode: Mode, faults: Option<FaultConfig>) -> (String, u64) {
+    let r = fresh(cfg, w, mode, faults)
+        .run(MAX)
+        .expect("golden run clean");
+    assert!(!r.timed_out, "{}/{mode:?} golden timed out", w.name());
+    (format!("{r:#?}"), r.cycles)
+}
+
+/// Every workload, event-driven mode, two snapshot depths (¼ and ¾ of the
+/// workload's own completion time).
+#[test]
+fn resume_is_byte_identical_for_all_workloads() {
+    let cfg = small_ndp();
+    for &w in WORKLOADS.iter() {
+        let (gold, cycles) = golden(&cfg, w, Mode::Event, None);
+        for snap_at in [cycles / 4, cycles * 3 / 4] {
+            assert_resume_equivalent(&cfg, w, Mode::Event, None, snap_at.max(1), &gold);
+        }
+    }
+}
+
+/// All three execution modes agree with each other *and* survive a
+/// mid-run snapshot: the golden is taken per-cycle, the resumes run
+/// per-cycle, event-driven, and parallel.
+#[test]
+fn resume_is_byte_identical_across_execution_modes() {
+    let cfg = small_ndp();
+    for w in [Workload::Vadd, Workload::Bfs, Workload::Bprop] {
+        let (gold, cycles) = golden(&cfg, w, Mode::PerCycle, None);
+        for mode in MODES {
+            assert_resume_equivalent(&cfg, w, mode, None, cycles / 3, &gold);
+        }
+    }
+}
+
+/// A seeded fault schedule's decision stream, held packets and fault
+/// statistics all survive the round trip: resumed runs replay the exact
+/// same faults the uninterrupted run sees.
+#[test]
+fn resume_is_byte_identical_under_seeded_faults() {
+    let cfg = small_ndp();
+    let faults = Some(delay_faults());
+    for w in [Workload::Vadd, Workload::Bfs] {
+        for mode in [Mode::Event, Mode::Parallel] {
+            let (gold, cycles) = golden(&cfg, w, mode, faults);
+            for frac in [4u64, 2] {
+                assert_resume_equivalent(&cfg, w, mode, faults, (cycles / frac).max(1), &gold);
+            }
+        }
+    }
+}
+
+/// The baseline (NDP-off) configuration checkpoints too — no NSU state in
+/// flight, but SM/cache/DRAM state still round-trips.
+#[test]
+fn resume_is_byte_identical_for_baseline_config() {
+    let mut cfg = SystemConfig::baseline();
+    cfg.gpu.num_sms = 8;
+    let (gold, cycles) = golden(&cfg, Workload::Vadd, Mode::Event, None);
+    assert_resume_equivalent(&cfg, Workload::Vadd, Mode::Event, None, cycles / 2, &gold);
+}
+
+/// The observability layer is part of the result (`RunResult::obs`), so it
+/// is part of the checkpoint: histograms, time-series and event rings
+/// resume without a seam.
+#[test]
+fn observability_state_survives_resume() {
+    let cfg = small_ndp();
+    let w = Workload::Vadd;
+    let run_gold = || {
+        let mut sys = fresh(&cfg, w, Mode::Event, None);
+        sys.enable_obs(ObsConfig::on());
+        sys.run(MAX).expect("clean")
+    };
+    let gold = format!("{:#?}", run_gold());
+
+    let mut sys = fresh(&cfg, w, Mode::Event, None);
+    sys.enable_obs(ObsConfig::on());
+    sys.run_until(1_024).expect("clean prefix");
+    let bytes = sys.snapshot();
+    drop(sys);
+    let r = System::try_restore(cfg.clone(), kernel_for(w), &bytes)
+        .expect("restore accepted")
+        .run(MAX)
+        .expect("clean tail");
+    assert_eq!(format!("{r:#?}"), gold, "obs report diverged across resume");
+}
+
+/// Snapshotting is a pure read: the same prefix always serializes to the
+/// same bytes, and taking a snapshot does not disturb the run that
+/// continues afterwards.
+#[test]
+fn snapshots_are_deterministic_and_non_perturbing() {
+    let cfg = small_ndp();
+    let w = Workload::Kmn;
+    let (gold, cycles) = golden(&cfg, w, Mode::Event, None);
+    let snap_at = cycles / 2;
+    let run_to = |cycle: u64| {
+        let mut sys = fresh(&cfg, w, Mode::Event, None);
+        sys.run_until(cycle).expect("clean prefix");
+        sys
+    };
+    let a = run_to(snap_at).snapshot();
+    let b = run_to(snap_at).snapshot();
+    assert_eq!(a, b, "same prefix must serialize identically");
+
+    let mut sys = fresh(&cfg, w, Mode::Event, None);
+    sys.run_until(snap_at).expect("clean prefix");
+    let _ = sys.snapshot(); // observe, then keep running the same system
+    let r = sys.run(MAX).expect("clean tail");
+    assert_eq!(format!("{r:#?}"), gold, "taking a snapshot perturbed the run");
+}
+
+// ---------------------------------------------------------------------------
+// Rejection: every corruption is a typed error, never a panic.
+// ---------------------------------------------------------------------------
+
+fn snapshot_bytes(cfg: &SystemConfig, w: Workload) -> Vec<u8> {
+    let mut sys = fresh(cfg, w, Mode::Event, None);
+    sys.run_until(1_024).expect("clean prefix");
+    sys.snapshot()
+}
+
+fn expect_rejection(cfg: &SystemConfig, w: Workload, bytes: &[u8]) -> &'static str {
+    match System::try_restore(cfg.clone(), kernel_for(w), bytes) {
+        Err(SimError::BadCheckpoint { check, .. }) => check,
+        Err(other) => panic!("expected BadCheckpoint, got {other}"),
+        Ok(_) => panic!("corrupt checkpoint accepted"),
+    }
+}
+
+/// Flip single bytes across the whole image: header flips fail their named
+/// structural check, payload flips fail the checksum — and none of them
+/// panic or restore.
+#[test]
+fn bit_flips_anywhere_are_rejected() {
+    let cfg = small_ndp();
+    let w = Workload::Vadd;
+    let good = snapshot_bytes(&cfg, w);
+    System::try_restore(cfg.clone(), kernel_for(w), &good).expect("pristine bytes accepted");
+    for pos in (0..good.len()).step_by(97) {
+        let mut bad = good.clone();
+        bad[pos] ^= 0x40;
+        let check = expect_rejection(&cfg, w, &bad);
+        assert!(
+            !check.is_empty(),
+            "flip at byte {pos} must name the failed check"
+        );
+    }
+}
+
+/// Truncations at every depth — mid-header, mid-payload, empty — are
+/// length/magic errors, not panics.
+#[test]
+fn truncations_are_rejected() {
+    let cfg = small_ndp();
+    let w = Workload::Vadd;
+    let good = snapshot_bytes(&cfg, w);
+    for keep in [0, 1, 7, 19, checkpoint::HEADER_BYTES, good.len() - 1] {
+        let check = expect_rejection(&cfg, w, &good[..keep]);
+        assert!(matches!(check, "magic" | "schema" | "header" | "length"));
+    }
+    // Trailing garbage is a length mismatch, not silently ignored.
+    let mut long = good;
+    long.extend_from_slice(b"junk");
+    assert_eq!(expect_rejection(&cfg, w, &long), "length");
+}
+
+/// A future (or past) schema version is refused by name, before any
+/// payload decoding happens.
+#[test]
+fn schema_version_bump_is_rejected() {
+    let cfg = small_ndp();
+    let w = Workload::Vadd;
+    let mut bytes = snapshot_bytes(&cfg, w);
+    bytes[8] = bytes[8].wrapping_add(1); // schema u32 follows the u64 magic
+    assert_eq!(expect_rejection(&cfg, w, &bytes), "schema");
+}
+
+/// Restoring under a different configuration or kernel is refused by the
+/// fingerprint checks — the state would not fit the rebuilt machine.
+#[test]
+fn config_and_kernel_mismatches_are_rejected() {
+    let cfg = small_ndp();
+    let bytes = snapshot_bytes(&cfg, Workload::Vadd);
+
+    let mut other = cfg.clone();
+    other.gpu.num_sms = 4;
+    match System::try_restore(other, kernel_for(Workload::Vadd), &bytes) {
+        Err(SimError::BadCheckpoint { check, .. }) => assert_eq!(check, "config"),
+        Err(e) => panic!("expected BadCheckpoint[config], got {e}"),
+        Ok(_) => panic!("config mismatch accepted"),
+    }
+
+    match System::try_restore(cfg.clone(), kernel_for(Workload::Bfs), &bytes) {
+        Err(SimError::BadCheckpoint { check, .. }) => assert_eq!(check, "kernel"),
+        Err(e) => panic!("expected BadCheckpoint[kernel], got {e}"),
+        Ok(_) => panic!("kernel mismatch accepted"),
+    }
+}
+
+/// A missing checkpoint file is a typed `read` failure.
+#[test]
+fn missing_file_is_a_typed_error() {
+    let cfg = small_ndp();
+    let path = std::path::Path::new("/nonexistent/ndp/resume.ndpckpt");
+    match System::restore_from_file(cfg, kernel_for(Workload::Vadd), path) {
+        Err(SimError::BadCheckpoint { check, .. }) => assert_eq!(check, "read"),
+        Err(e) => panic!("expected BadCheckpoint[read], got {e}"),
+        Ok(_) => panic!("missing file accepted"),
+    }
+}
+
+/// Save-to-disk round trip through the atomic writer, exactly as the
+/// periodic `NDP_CHECKPOINT_*` path writes it.
+#[test]
+fn file_round_trip_resumes_identically() {
+    let cfg = small_ndp();
+    let w = Workload::Fwt;
+    let (gold, cycles) = golden(&cfg, w, Mode::Event, None);
+
+    let dir = std::env::temp_dir().join(format!("ndp-ckpt-rt-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let file = dir.join("fwt.ndpckpt");
+
+    let mut sys = fresh(&cfg, w, Mode::Event, None);
+    sys.run_until(cycles / 2).expect("clean prefix");
+    sys.save_checkpoint(&file).expect("atomic save");
+    drop(sys);
+
+    let r = System::restore_from_file(cfg.clone(), kernel_for(w), &file)
+        .expect("file restore accepted")
+        .run(MAX)
+        .expect("clean tail");
+    assert_eq!(format!("{r:#?}"), gold);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// A wedged machine's watchdog post-mortem (`NDP_STALL_DUMP`) writes a
+/// checkpoint next to the stall report, and that checkpoint restores into
+/// a system frozen at the stall cycle — the state a post-mortem inspects.
+#[test]
+fn watchdog_stall_dumps_a_restorable_checkpoint() {
+    let mut cfg = small_ndp();
+    cfg.nsu.cmd_entries = 2;
+    let p = Workload::Vadd.build(&scale());
+    let dir = std::env::temp_dir().join(format!("ndp-stall-dump-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    std::env::set_var("NDP_STALL_DUMP", &dir);
+    let mut sys = System::new(cfg.clone(), &p);
+    sys.set_watchdog(Some(4_096));
+    sys.inject_faults(FaultConfig {
+        withhold_credits: true,
+        ..Default::default()
+    });
+    let r = sys.run(50_000).expect("a wedge is a stall, not a violation");
+    std::env::remove_var("NDP_STALL_DUMP");
+
+    let stall = r.stall.as_deref().expect("watchdog fired");
+    let dumped: Vec<_> = std::fs::read_dir(&dir)
+        .expect("dump directory created")
+        .map(|e| e.unwrap().path())
+        .collect();
+    assert_eq!(dumped.len(), 1, "exactly one post-mortem file: {dumped:?}");
+
+    let kernel = Arc::new(compile(&p, &CompilerConfig::default()));
+    let restored =
+        System::restore_from_file(cfg, kernel, &dumped[0]).expect("post-mortem restores");
+    assert_eq!(
+        restored.cycle(),
+        stall.cycle,
+        "post-mortem freezes the stall cycle"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
