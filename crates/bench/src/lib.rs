@@ -144,7 +144,12 @@ pub fn dump_json(path: &str, m: &Matrix) {
             }
         })
         .collect();
-    if let Ok(s) = serde_json::to_string_pretty(&rows) {
-        let _ = std::fs::write(path, s);
+    // Fail loudly: a figure run whose JSON silently vanishes poisons every
+    // downstream regression diff.
+    let s = serde_json::to_string_pretty(&rows)
+        .unwrap_or_else(|e| panic!("could not serialize {path}: {e}"));
+    if let Err(e) = std::fs::write(path, s) {
+        eprintln!("error: could not write {path}: {e}");
+        std::process::exit(1);
     }
 }

@@ -101,9 +101,7 @@ impl Node {
     }
 
     /// Checkpoint decoding counterpart of [`Node::snap`].
-    pub fn restore(
-        r: &mut crate::snap::SnapReader<'_>,
-    ) -> Result<Node, crate::snap::SnapError> {
+    pub fn restore(r: &mut crate::snap::SnapReader<'_>) -> Result<Node, crate::snap::SnapError> {
         Ok(match r.u8()? {
             0 => Node::Sm(r.u16()?),
             1 => Node::L2(r.u8()?),

@@ -170,16 +170,16 @@ impl EventRing {
         for _ in 0..n {
             let cycle = r.u64()?;
             let si = r.u8()? as usize;
-            let site = *TraceSite::ALL.get(si).ok_or_else(|| {
-                crate::snap::SnapError(format!("unknown TraceSite index {si}"))
-            })?;
+            let site = *TraceSite::ALL
+                .get(si)
+                .ok_or_else(|| crate::snap::SnapError(format!("unknown TraceSite index {si}")))?;
             let src = Node::restore(r)?;
             let dst = Node::restore(r)?;
             let size = r.u32()?;
             let ki = r.u8()? as usize;
-            let kind = *Packet::KIND_NAMES.get(ki).ok_or_else(|| {
-                crate::snap::SnapError(format!("unknown packet kind index {ki}"))
-            })?;
+            let kind = *Packet::KIND_NAMES
+                .get(ki)
+                .ok_or_else(|| crate::snap::SnapError(format!("unknown packet kind index {ki}")))?;
             let present = r.bool()?;
             let tok = r.u64()?;
             events.push(TraceEvent {

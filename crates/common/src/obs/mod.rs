@@ -198,9 +198,7 @@ impl Obs {
     /// names created at runtime are interned with `Box::leak` — a handful
     /// of short strings per restore, matching the `&'static str` keys the
     /// live sampler uses.
-    pub fn restore(
-        r: &mut crate::snap::SnapReader<'_>,
-    ) -> Result<Obs, crate::snap::SnapError> {
+    pub fn restore(r: &mut crate::snap::SnapReader<'_>) -> Result<Obs, crate::snap::SnapError> {
         let cfg = ObsConfig {
             enabled: r.bool()?,
             sample_interval: r.u64()?,

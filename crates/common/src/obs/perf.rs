@@ -84,8 +84,10 @@ impl PerfConfig {
     /// on, `NDP_PERF_STRIDE` / `NDP_PERF_HEARTBEAT` / `NDP_PERF_STDERR`
     /// tune it. Malformed values die loudly (typed env policy).
     pub fn from_env() -> Self {
-        let mut cfg = PerfConfig::default();
-        cfg.enabled = crate::env::flag_or_die("NDP_PERF").unwrap_or(false);
+        let mut cfg = PerfConfig {
+            enabled: crate::env::flag_or_die("NDP_PERF").unwrap_or(false),
+            ..PerfConfig::default()
+        };
         if let Some(s) = crate::env::parse_or_die::<u64>("NDP_PERF_STRIDE") {
             cfg.stride = s.max(1);
         }

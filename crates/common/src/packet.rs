@@ -527,11 +527,7 @@ impl Packet {
                     values,
                 }
             }
-            d => {
-                return Err(SnapError(format!(
-                    "unknown PacketKind discriminant {d}"
-                )))
-            }
+            d => return Err(SnapError(format!("unknown PacketKind discriminant {d}"))),
         };
         Ok(Packet {
             src,

@@ -205,6 +205,8 @@ impl<'a> SnapReader<'a> {
     /// Sequence length prefix. Rejects lengths that cannot possibly fit in
     /// the remaining bytes (each element occupies at least one byte), so a
     /// corrupted prefix fails here rather than in a giant allocation.
+    // Not a container length — `is_empty` has no meaning for a decoder.
+    #[allow(clippy::len_without_is_empty)]
     pub fn len(&mut self) -> Result<usize, SnapError> {
         let at = self.pos;
         let n = self.usize()?;

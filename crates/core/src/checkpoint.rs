@@ -179,7 +179,12 @@ pub fn open<'a>(
 }
 
 /// Seal a payload into a complete checkpoint file image.
-pub fn seal(cfg: &SystemConfig, kernel: &CompiledKernel, cycle: Cycle, payload: Vec<u8>) -> Vec<u8> {
+pub fn seal(
+    cfg: &SystemConfig,
+    kernel: &CompiledKernel,
+    cycle: Cycle,
+    payload: Vec<u8>,
+) -> Vec<u8> {
     let mut w = SnapWriter::new();
     Header {
         schema: SCHEMA_VERSION,
@@ -201,9 +206,12 @@ pub fn seal(cfg: &SystemConfig, kernel: &CompiledKernel, cycle: Cycle, payload: 
 /// new complete file, never a torn one.
 pub fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
     let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
-    let name = path
-        .file_name()
-        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "checkpoint path has no file name"))?;
+    let name = path.file_name().ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "checkpoint path has no file name",
+        )
+    })?;
     let tmp_name = format!(".{}.tmp{}", name.to_string_lossy(), std::process::id());
     let tmp = match dir {
         Some(d) => d.join(&tmp_name),
@@ -381,7 +389,11 @@ mod tests {
             "directory form is per-(workload, config) cell"
         );
         let file = dir.join("single.ndpckpt");
-        assert_eq!(file_for(&file, "VADD", 0xabcd), file, "file form is verbatim");
+        assert_eq!(
+            file_for(&file, "VADD", 0xabcd),
+            file,
+            "file form is verbatim"
+        );
         fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -33,7 +33,9 @@ pub fn run_workload(w: Workload, cfg: SystemConfig, scale: &Scale, max_cycles: u
                 // A kernel-fingerprint mismatch means the snapshot was taken
                 // at a different problem scale (same workload and config cell
                 // name); that is a stale cell, not corruption — start fresh.
-                Err(SimError::BadCheckpoint { check: "kernel", .. }) => System::new(cfg, &program),
+                Err(SimError::BadCheckpoint {
+                    check: "kernel", ..
+                }) => System::new(cfg, &program),
                 Err(e) => panic!("{}: resume from {}: {e}", w.name(), path.display()),
             }
         }

@@ -56,15 +56,14 @@ proptest! {
         let mut v: VaultController<usize> = VaultController::new(&HmcConfig::default());
         let n = reqs.len();
         for (i, (bank, row, is_write)) in reqs.into_iter().enumerate() {
-            v.push(VaultRequest {
+            let pushed = v.push(VaultRequest {
                 bank,
                 row,
                 bytes: 128,
                 is_write,
                 payload: i,
-            })
-            .ok()
-            .expect("capacity 64 ≥ test size");
+            });
+            prop_assert!(pushed.is_ok(), "capacity 64 ≥ test size");
         }
         let mut seen = vec![false; n];
         let mut done = 0;

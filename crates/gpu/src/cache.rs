@@ -194,9 +194,7 @@ impl<W> Cache<W> {
     pub fn restore(
         &mut self,
         r: &mut ndp_common::snap::SnapReader<'_>,
-        waiter: impl Fn(
-            &mut ndp_common::snap::SnapReader<'_>,
-        ) -> Result<W, ndp_common::snap::SnapError>,
+        waiter: impl Fn(&mut ndp_common::snap::SnapReader<'_>) -> Result<W, ndp_common::snap::SnapError>,
     ) -> Result<(), ndp_common::snap::SnapError> {
         let nsets = r.len()?;
         if nsets != self.sets.len() {

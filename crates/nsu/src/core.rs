@@ -508,8 +508,7 @@ impl Nsu {
             w.u16(*seq);
             w.u32(e.arrived_mask);
         }
-        let mut writes: Vec<(&(OffloadToken, u16), &(u8, Vec<LineAccess>))> =
-            self.write_buf.iter().collect();
+        let mut writes: Vec<_> = self.write_buf.iter().collect();
         writes.sort_unstable_by_key(|(k, _)| **k);
         w.len(writes.len());
         for ((tok, seq), (expected, accesses)) in writes {

@@ -18,7 +18,10 @@ use standardized_ndp::prelude::*;
 const MAX: u64 = 30_000_000;
 
 fn scale() -> Scale {
-    Scale { warps: 32, iters: 2 }
+    Scale {
+        warps: 32,
+        iters: 2,
+    }
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -105,7 +108,12 @@ fn assert_resume_equivalent(
 /// Uninterrupted golden rendering for one (config, workload, mode, faults)
 /// cell, plus the completion cycle (so snapshot points can be placed
 /// strictly before the run drains).
-fn golden(cfg: &SystemConfig, w: Workload, mode: Mode, faults: Option<FaultConfig>) -> (String, u64) {
+fn golden(
+    cfg: &SystemConfig,
+    w: Workload,
+    mode: Mode,
+    faults: Option<FaultConfig>,
+) -> (String, u64) {
     let r = fresh(cfg, w, mode, faults)
         .run(MAX)
         .expect("golden run clean");
@@ -215,7 +223,11 @@ fn snapshots_are_deterministic_and_non_perturbing() {
     sys.run_until(snap_at).expect("clean prefix");
     let _ = sys.snapshot(); // observe, then keep running the same system
     let r = sys.run(MAX).expect("clean tail");
-    assert_eq!(format!("{r:#?}"), gold, "taking a snapshot perturbed the run");
+    assert_eq!(
+        format!("{r:#?}"),
+        gold,
+        "taking a snapshot perturbed the run"
+    );
 }
 
 // ---------------------------------------------------------------------------
@@ -361,7 +373,9 @@ fn watchdog_stall_dumps_a_restorable_checkpoint() {
         withhold_credits: true,
         ..Default::default()
     });
-    let r = sys.run(50_000).expect("a wedge is a stall, not a violation");
+    let r = sys
+        .run(50_000)
+        .expect("a wedge is a stall, not a violation");
     std::env::remove_var("NDP_STALL_DUMP");
 
     let stall = r.stall.as_deref().expect("watchdog fired");

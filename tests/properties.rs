@@ -46,8 +46,9 @@ proptest! {
     fn coalesce_alignment_rule(start_lane in 0usize..32, n in 1usize..32) {
         let mut addrs = [0u64; 32];
         let mut active = 0u32;
-        for lane in start_lane..(start_lane + n).min(32) {
-            addrs[lane] = 0x1000 + lane as u64 * 4;
+        let hi = (start_lane + n).min(32);
+        for (lane, addr) in addrs.iter_mut().enumerate().take(hi).skip(start_lane) {
+            *addr = 0x1000 + lane as u64 * 4;
             active |= 1 << lane;
         }
         let accesses = coalesce(&addrs, active, 4, 128);
@@ -138,5 +139,37 @@ proptest! {
             prop_assert!(pool.available() <= 16);
             prop_assert_eq!(pool.available() + outstanding, 16);
         }
+    }
+}
+
+// Guard against inert property testing: an offline-stubbed `proptest!` once
+// expanded to nothing, so every property "passed" without executing a single
+// assertion. The macro (real or shimmed) generates a directly callable
+// `fn`, so count the executions and fail tier-1 if the bodies ever stop
+// running.
+mod proptest_is_not_inert {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    static CASES_RUN: AtomicU32 = AtomicU32::new(0);
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn counted_property(_x in 0u64..8) {
+            CASES_RUN.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    #[test]
+    fn proptest_bodies_actually_execute() {
+        CASES_RUN.store(0, Ordering::SeqCst);
+        counted_property();
+        assert_eq!(
+            CASES_RUN.load(Ordering::SeqCst),
+            64,
+            "proptest! did not execute its body for every configured case — \
+             property coverage is silently gone"
+        );
     }
 }

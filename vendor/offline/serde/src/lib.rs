@@ -1,0 +1,353 @@
+//! Offline mini-serde: a *functional* subset of the serde 1.x surface.
+//!
+//! This container builds with no network access, so the real crate cannot be
+//! fetched. The workspace only ever derives `Serialize`/`Deserialize` and
+//! hands values to `serde_json`, so this shim replaces serde's visitor
+//! architecture with a small self-describing [`value::Value`] tree:
+//! `Serialize` lowers a value into the tree, `Deserialize` rebuilds one from
+//! it, and `serde_json` renders/parses the tree. Derives come from the
+//! sibling `serde_derive` shim and honor
+//! `#[serde(skip_serializing_if = "path")]`.
+//!
+//! Deliberate deviations from real serde, chosen for this workspace:
+//! - map-typed fields serialize in sorted-key order (determinism first);
+//! - `f64`/`f32` deserialize `null` as NaN, mirroring that non-finite floats
+//!   serialize as `null` (real serde_json errors on the way back in).
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod value {
+    use std::fmt;
+
+    /// A self-describing serialized value (JSON data model plus an exact
+    /// split of integers into signed/unsigned so `u64::MAX` round-trips).
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        Null,
+        Bool(bool),
+        U64(u64),
+        I64(i64),
+        F64(f64),
+        Str(String),
+        Seq(Vec<Value>),
+        Map(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        pub fn get(&self, key: &str) -> Option<&Value> {
+            match self {
+                Value::Map(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+                _ => None,
+            }
+        }
+
+        pub fn kind(&self) -> &'static str {
+            match self {
+                Value::Null => "null",
+                Value::Bool(_) => "bool",
+                Value::U64(_) | Value::I64(_) | Value::F64(_) => "number",
+                Value::Str(_) => "string",
+                Value::Seq(_) => "array",
+                Value::Map(_) => "object",
+            }
+        }
+    }
+
+    /// Typed-decode failure: which field/element and why.
+    #[derive(Debug, Clone, PartialEq)]
+    pub struct DeError {
+        pub msg: String,
+    }
+
+    impl DeError {
+        pub fn msg(msg: impl Into<String>) -> Self {
+            DeError { msg: msg.into() }
+        }
+
+        pub fn context(self, ctx: &str) -> Self {
+            DeError {
+                msg: format!("{ctx}: {}", self.msg),
+            }
+        }
+    }
+
+    impl fmt::Display for DeError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.msg)
+        }
+    }
+
+    impl std::error::Error for DeError {}
+}
+
+use value::{DeError, Value};
+
+pub trait Serialize {
+    fn to_value(&self) -> Value;
+}
+
+pub trait Deserialize<'de>: Sized {
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+// ------------------------------------------------------------- primitives
+
+macro_rules! ser_unsigned {
+    ($($t:ty),*) => { $(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::U64(*self as u64) }
+        }
+    )* };
+}
+ser_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! ser_signed {
+    ($($t:ty),*) => { $(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::I64(*self as i64) }
+        }
+    )* };
+}
+ser_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(f64::from(*self))
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+fn int_from_value(v: &Value) -> Result<i128, DeError> {
+    match v {
+        Value::U64(n) => Ok(i128::from(*n)),
+        Value::I64(n) => Ok(i128::from(*n)),
+        Value::F64(f) if f.fract() == 0.0 && f.abs() < 9.0e18 => Ok(*f as i128),
+        other => Err(DeError::msg(format!("expected integer, got {}", other.kind()))),
+    }
+}
+
+macro_rules! de_int {
+    ($($t:ty),*) => { $(
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(v: &Value) -> Result<$t, DeError> {
+                let n = int_from_value(v)?;
+                <$t>::try_from(n).map_err(|_| {
+                    DeError::msg(format!("{n} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )* };
+}
+de_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<'de> Deserialize<'de> for f64 {
+    fn from_value(v: &Value) -> Result<f64, DeError> {
+        match v {
+            Value::F64(f) => Ok(*f),
+            Value::U64(n) => Ok(*n as f64),
+            Value::I64(n) => Ok(*n as f64),
+            // Non-finite floats serialize as null; accept them back as NaN.
+            Value::Null => Ok(f64::NAN),
+            other => Err(DeError::msg(format!("expected number, got {}", other.kind()))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn from_value(v: &Value) -> Result<f32, DeError> {
+        f64::from_value(v).map(|f| f as f32)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn from_value(v: &Value) -> Result<bool, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::msg(format!("expected bool, got {}", other.kind()))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn from_value(v: &Value) -> Result<char, DeError> {
+        match v {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(DeError::msg(format!("expected single-char string, got {}", other.kind()))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn from_value(v: &Value) -> Result<String, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::msg(format!("expected string, got {}", other.kind()))),
+        }
+    }
+}
+
+// ------------------------------------------------------------- containers
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(t) => t.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        self[..].to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        self[..].to_value()
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeError::msg(format!("expected array, got {}", other.kind()))),
+        }
+    }
+}
+
+macro_rules! tuple_serde {
+    ($(($($n:ident . $i:tt),+))*) => { $(
+        impl<$($n: Serialize),+> Serialize for ($($n,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$i.to_value()),+])
+            }
+        }
+        impl<'de, $($n: Deserialize<'de>),+> Deserialize<'de> for ($($n,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                const ARITY: usize = [$($i),+].len();
+                match v {
+                    Value::Seq(s) if s.len() == ARITY => {
+                        Ok(($($n::from_value(&s[$i])?,)+))
+                    }
+                    other => Err(DeError::msg(format!(
+                        "expected {ARITY}-element array, got {}", other.kind()
+                    ))),
+                }
+            }
+        }
+    )* };
+}
+tuple_serde! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+impl<V: Serialize> Serialize for std::collections::BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Map(self.iter().map(|(k, v)| (k.clone(), v.to_value())).collect())
+    }
+}
+
+impl<V: Serialize> Serialize for std::collections::HashMap<String, V> {
+    fn to_value(&self) -> Value {
+        // Sorted for deterministic output (this workspace's golden files
+        // depend on byte-stable artifacts).
+        let mut pairs: Vec<(String, Value)> =
+            self.iter().map(|(k, v)| (k.clone(), v.to_value())).collect();
+        pairs.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Map(pairs)
+    }
+}
+
+// -------------------------------------------------- derive support helpers
+
+/// Helpers the `serde_derive` shim expands calls to. Not part of real
+/// serde's public API; only generated code uses them.
+pub mod de {
+    use super::{DeError, Deserialize, Value};
+
+    /// Decode field `name` of object `v`; a missing field decodes from
+    /// `Null` so `Option` fields default to `None` and everything else
+    /// reports the missing key.
+    pub fn field<'de, T: Deserialize<'de>>(v: &Value, name: &str) -> Result<T, DeError> {
+        match v {
+            Value::Map(_) => T::from_value(v.get(name).unwrap_or(&Value::Null))
+                .map_err(|e| e.context(&format!("field `{name}`"))),
+            other => Err(DeError::msg(format!("expected object, got {}", other.kind()))),
+        }
+    }
+
+    /// Decode element `i` of a sequence (tuple structs / tuple variants).
+    pub fn elem<'de, T: Deserialize<'de>>(s: &[Value], i: usize, ctx: &str) -> Result<T, DeError> {
+        let v = s
+            .get(i)
+            .ok_or_else(|| DeError::msg(format!("{ctx}: missing element {i}")))?;
+        T::from_value(v).map_err(|e| e.context(ctx))
+    }
+}

@@ -1,0 +1,529 @@
+//! Offline mini-serde_derive: *functional* `#[derive(Serialize)]` /
+//! `#[derive(Deserialize)]` for the shapes this workspace declares, built on
+//! the `Value`-tree model of the sibling `serde` shim (no `syn`/`quote` —
+//! a hand-rolled token walk).
+//!
+//! Supported input shapes:
+//! - named-field structs (lifetimes-only generics), honoring
+//!   `#[serde(skip_serializing_if = "path")]` on fields;
+//! - tuple structs (newtype structs serialize transparently, wider tuples
+//!   as arrays);
+//! - enums with unit and tuple variants, using serde's externally-tagged
+//!   representation (`"Unit"`, `{"Newtype": v}`, `{"Tuple": [a, b]}`).
+//!
+//! Unsupported shapes (struct variants, type/const generics, other serde
+//! attributes) produce a `compile_error!` naming the gap instead of a
+//! silently wrong impl.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ------------------------------------------------------------ input model
+
+struct Field {
+    name: String,
+    skip_if: Option<String>,
+}
+
+struct Variant {
+    name: String,
+    arity: usize,
+    is_struct_like: bool,
+}
+
+enum Shape {
+    Named { fields: Vec<Field> },
+    Tuple { arity: usize },
+    Enum { variants: Vec<Variant> },
+}
+
+struct Input {
+    name: String,
+    /// Lifetime parameter text, e.g. `'a, 'b` (empty when non-generic).
+    generics: String,
+    shape: Shape,
+}
+
+fn err(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+// --------------------------------------------------------------- parsing
+
+/// Walk to the `struct`/`enum` keyword, skipping attributes and doc
+/// comments (which arrive as `#`/`#!` + bracket groups, never as top-level
+/// idents), then read name, optional lifetime generics, and the body group.
+fn parse(input: TokenStream) -> Result<Input, String> {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let mut is_enum = false;
+    loop {
+        match toks.get(i) {
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => break,
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => {
+                is_enum = true;
+                break;
+            }
+            Some(_) => i += 1,
+            None => return Err("no struct/enum keyword in derive input".into()),
+        }
+    }
+    i += 1;
+    let name = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("missing type name after struct/enum".into()),
+    };
+    i += 1;
+
+    let mut generics = String::new();
+    if let Some(TokenTree::Punct(p)) = toks.get(i) {
+        if p.as_char() == '<' {
+            i += 1;
+            let mut depth = 1usize;
+            while let Some(tt) = toks.get(i) {
+                if let TokenTree::Punct(p) = tt {
+                    match p.as_char() {
+                        '<' => depth += 1,
+                        '>' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                i += 1;
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                if !matches!(tt, TokenTree::Ident(id) if id.to_string() == "'")
+                    && !generics.is_empty()
+                    && !matches!(tt, TokenTree::Punct(p) if p.as_char() == '\'')
+                {
+                    // separator handled below
+                }
+                let is_tick = matches!(tt, TokenTree::Punct(p) if p.as_char() == '\'');
+                generics.push_str(&tt.to_string());
+                if !is_tick {
+                    generics.push(' ');
+                }
+                i += 1;
+            }
+            let g = generics.trim().to_string();
+            if g.contains(|c: char| c.is_alphabetic()) && !g.contains('\'') {
+                return Err(format!("type/const generics on `{name}` are not supported by the offline serde_derive shim"));
+            }
+            generics = g;
+        }
+    }
+
+    // Body: brace group (named struct or enum) or paren group (tuple
+    // struct, followed by `;`).
+    let body = loop {
+        match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.clone(),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                if is_enum {
+                    return Err("unexpected paren body on enum".into());
+                }
+                return Ok(Input {
+                    name,
+                    generics,
+                    shape: Shape::Tuple {
+                        arity: count_top_level_fields(g.stream()),
+                    },
+                });
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "where" => {
+                return Err(format!("where-clauses on `{name}` are not supported by the offline serde_derive shim"));
+            }
+            Some(_) => i += 1,
+            None => return Err(format!("missing body for `{name}`")),
+        }
+    };
+
+    let shape = if is_enum {
+        Shape::Enum {
+            variants: parse_variants(body.stream())?,
+        }
+    } else {
+        Shape::Named {
+            fields: parse_named_fields(body.stream())?,
+        }
+    };
+    Ok(Input { name, generics, shape })
+}
+
+/// Count comma-separated segments at angle-depth 0 (tuple struct / tuple
+/// variant arity), ignoring a trailing comma.
+fn count_top_level_fields(ts: TokenStream) -> usize {
+    let mut arity = 0usize;
+    let mut seg_has_tokens = false;
+    let mut angle = 0i32;
+    let mut prev_dash = false;
+    for tt in ts {
+        match &tt {
+            TokenTree::Punct(p) => {
+                let c = p.as_char();
+                if c == '<' {
+                    angle += 1;
+                } else if c == '>' && !prev_dash && angle > 0 {
+                    angle -= 1;
+                } else if c == ',' && angle == 0 {
+                    if seg_has_tokens {
+                        arity += 1;
+                    }
+                    seg_has_tokens = false;
+                    prev_dash = false;
+                    continue;
+                }
+                prev_dash = c == '-';
+                seg_has_tokens = true;
+            }
+            _ => {
+                prev_dash = false;
+                seg_has_tokens = true;
+            }
+        }
+    }
+    if seg_has_tokens {
+        arity += 1;
+    }
+    arity
+}
+
+/// Extract `skip_serializing_if = "path"` from a `#[serde(..)]` attribute
+/// group, if present. Any other serde attribute is an error (better loud
+/// than silently ignored).
+fn serde_attr(group_tokens: Vec<TokenTree>) -> Result<Option<String>, String> {
+    match (group_tokens.first(), group_tokens.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(inner))) if id.to_string() == "serde" => {
+            let inner_toks: Vec<TokenTree> = inner.stream().into_iter().collect();
+            match (inner_toks.first(), inner_toks.get(1), inner_toks.get(2)) {
+                (
+                    Some(TokenTree::Ident(key)),
+                    Some(TokenTree::Punct(eq)),
+                    Some(TokenTree::Literal(lit)),
+                ) if key.to_string() == "skip_serializing_if" && eq.as_char() == '=' => {
+                    let raw = lit.to_string();
+                    Ok(Some(raw.trim_matches('"').to_string()))
+                }
+                _ => Err(format!(
+                    "unsupported #[serde(..)] attribute `{}` (offline shim understands only skip_serializing_if)",
+                    inner
+                )),
+            }
+        }
+        _ => Ok(None), // not a serde attribute (doc comment etc.)
+    }
+}
+
+fn parse_named_fields(ts: TokenStream) -> Result<Vec<Field>, String> {
+    let toks: Vec<TokenTree> = ts.into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < toks.len() {
+        let mut skip_if = None;
+        // Attributes / doc comments.
+        while let Some(TokenTree::Punct(p)) = toks.get(i) {
+            if p.as_char() != '#' {
+                break;
+            }
+            i += 1;
+            if let Some(TokenTree::Group(g)) = toks.get(i) {
+                if let Some(s) = serde_attr(g.stream().into_iter().collect())? {
+                    skip_if = Some(s);
+                }
+                i += 1;
+            } else {
+                return Err("dangling # in field attributes".into());
+            }
+        }
+        // Visibility.
+        if let Some(TokenTree::Ident(id)) = toks.get(i) {
+            if id.to_string() == "pub" {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = toks.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+        }
+        let name = match toks.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => return Err(format!("expected field name, found `{other}`")),
+            None => break,
+        };
+        i += 1;
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => return Err(format!("expected `:` after field `{name}`")),
+        }
+        // Skip the type: consume until a comma at angle-depth 0. `->`
+        // inside fn-pointer types must not close an angle bracket.
+        let mut angle = 0i32;
+        let mut prev_dash = false;
+        while let Some(tt) = toks.get(i) {
+            if let TokenTree::Punct(p) = tt {
+                let c = p.as_char();
+                if c == '<' {
+                    angle += 1;
+                } else if c == '>' && !prev_dash && angle > 0 {
+                    angle -= 1;
+                } else if c == ',' && angle == 0 {
+                    i += 1;
+                    break;
+                }
+                prev_dash = c == '-';
+            } else {
+                prev_dash = false;
+            }
+            i += 1;
+        }
+        fields.push(Field { name, skip_if });
+    }
+    Ok(fields)
+}
+
+fn parse_variants(ts: TokenStream) -> Result<Vec<Variant>, String> {
+    let toks: Vec<TokenTree> = ts.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < toks.len() {
+        // Attributes / doc comments.
+        while let Some(TokenTree::Punct(p)) = toks.get(i) {
+            if p.as_char() != '#' {
+                break;
+            }
+            i += 1;
+            if let Some(TokenTree::Group(g)) = toks.get(i) {
+                serde_attr(g.stream().into_iter().collect())?;
+                i += 1;
+            } else {
+                return Err("dangling # in variant attributes".into());
+            }
+        }
+        let name = match toks.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => return Err(format!("expected variant name, found `{other}`")),
+            None => break,
+        };
+        i += 1;
+        let mut arity = 0usize;
+        let mut is_struct_like = false;
+        if let Some(TokenTree::Group(g)) = toks.get(i) {
+            match g.delimiter() {
+                Delimiter::Parenthesis => {
+                    arity = count_top_level_fields(g.stream());
+                    i += 1;
+                }
+                Delimiter::Brace => {
+                    is_struct_like = true;
+                    i += 1;
+                }
+                _ => {}
+            }
+        }
+        // Skip to the next comma (covers `= discriminant`).
+        while let Some(tt) = toks.get(i) {
+            i += 1;
+            if matches!(tt, TokenTree::Punct(p) if p.as_char() == ',') {
+                break;
+            }
+        }
+        variants.push(Variant { name, arity, is_struct_like });
+    }
+    Ok(variants)
+}
+
+// --------------------------------------------------------------- codegen
+
+fn ser_impl_header(input: &Input) -> String {
+    let n = &input.name;
+    let g = &input.generics;
+    if g.is_empty() {
+        format!("impl ::serde::Serialize for {n}")
+    } else {
+        format!("impl<{g}> ::serde::Serialize for {n}<{g}>")
+    }
+}
+
+fn de_impl_header(input: &Input) -> String {
+    let n = &input.name;
+    let g = &input.generics;
+    if g.is_empty() {
+        format!("impl<'de> ::serde::Deserialize<'de> for {n}")
+    } else {
+        format!("impl<'de, {g}> ::serde::Deserialize<'de> for {n}<{g}>")
+    }
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = match parse(input) {
+        Ok(p) => p,
+        Err(e) => return err(&e),
+    };
+    let body = match &input.shape {
+        Shape::Named { fields } => {
+            let mut pushes = String::new();
+            for f in fields {
+                let name = &f.name;
+                let push = format!(
+                    "__fields.push((::std::string::String::from({name:?}), \
+                     ::serde::Serialize::to_value(&self.{name})));"
+                );
+                match &f.skip_if {
+                    Some(path) => {
+                        pushes.push_str(&format!("if !({path}(&self.{name})) {{ {push} }}\n"));
+                    }
+                    None => {
+                        pushes.push_str(&push);
+                        pushes.push('\n');
+                    }
+                }
+            }
+            format!(
+                "let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::value::Value)> = ::std::vec::Vec::new();\n\
+                 {pushes}\
+                 ::serde::value::Value::Map(__fields)"
+            )
+        }
+        Shape::Tuple { arity: 0 } => "::serde::value::Value::Seq(::std::vec::Vec::new())".into(),
+        Shape::Tuple { arity: 1 } => "::serde::Serialize::to_value(&self.0)".into(),
+        Shape::Tuple { arity } => {
+            let elems: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::value::Value::Seq(vec![{}])", elems.join(", "))
+        }
+        Shape::Enum { variants } => {
+            let ty = &input.name;
+            let mut arms = String::new();
+            for v in variants {
+                if v.is_struct_like {
+                    return err(&format!(
+                        "struct variant `{ty}::{}` is not supported by the offline serde_derive shim",
+                        v.name
+                    ));
+                }
+                let vn = &v.name;
+                match v.arity {
+                    0 => arms.push_str(&format!(
+                        "{ty}::{vn} => ::serde::value::Value::Str(::std::string::String::from({vn:?})),\n"
+                    )),
+                    1 => arms.push_str(&format!(
+                        "{ty}::{vn}(__f0) => ::serde::value::Value::Map(vec![(\
+                         ::std::string::String::from({vn:?}), ::serde::Serialize::to_value(__f0))]),\n"
+                    )),
+                    n => {
+                        let binds: Vec<String> = (0..n).map(|i| format!("__f{i}")).collect();
+                        let elems: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{ty}::{vn}({}) => ::serde::value::Value::Map(vec![(\
+                             ::std::string::String::from({vn:?}), \
+                             ::serde::value::Value::Seq(vec![{}]))]),\n",
+                            binds.join(", "),
+                            elems.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n{} {{\n fn to_value(&self) -> ::serde::value::Value {{\n{body}\n }}\n}}",
+        ser_impl_header(&input)
+    )
+    .parse()
+    .unwrap()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = match parse(input) {
+        Ok(p) => p,
+        Err(e) => return err(&e),
+    };
+    let ty = &input.name;
+    let body = match &input.shape {
+        Shape::Named { fields } => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{0}: ::serde::de::field(__v, {0:?})?", f.name))
+                .collect();
+            format!("::std::result::Result::Ok({ty} {{ {} }})", inits.join(", "))
+        }
+        Shape::Tuple { arity: 1 } => {
+            format!("::std::result::Result::Ok({ty}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Shape::Tuple { arity } => {
+            let elems: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::de::elem(__s, {i}, {ty:?})?"))
+                .collect();
+            format!(
+                "match __v {{\n\
+                 ::serde::value::Value::Seq(__s) if __s.len() == {arity} => \
+                 ::std::result::Result::Ok({ty}({elems})),\n\
+                 __other => ::std::result::Result::Err(::serde::value::DeError::msg(\
+                 format!(\"expected {arity}-element array for {ty}, got {{}}\", __other.kind()))),\n\
+                 }}",
+                elems = elems.join(", ")
+            )
+        }
+        Shape::Enum { variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                if v.is_struct_like {
+                    return err(&format!(
+                        "struct variant `{ty}::{}` is not supported by the offline serde_derive shim",
+                        v.name
+                    ));
+                }
+                let vn = &v.name;
+                match v.arity {
+                    0 => arms.push_str(&format!(
+                        "::serde::value::Value::Str(__s) if __s == {vn:?} => \
+                         ::std::result::Result::Ok({ty}::{vn}),\n"
+                    )),
+                    1 => arms.push_str(&format!(
+                        "::serde::value::Value::Map(__m) if __m.len() == 1 && __m[0].0 == {vn:?} => \
+                         ::std::result::Result::Ok({ty}::{vn}(\
+                         ::serde::Deserialize::from_value(&__m[0].1)?)),\n"
+                    )),
+                    n => {
+                        let elems: Vec<String> = (0..n)
+                            .map(|i| format!("::serde::de::elem(__s, {i}, {vn:?})?"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "::serde::value::Value::Map(__m) if __m.len() == 1 && __m[0].0 == {vn:?} => \
+                             match &__m[0].1 {{\n\
+                             ::serde::value::Value::Seq(__s) if __s.len() == {n} => \
+                             ::std::result::Result::Ok({ty}::{vn}({elems})),\n\
+                             __other => ::std::result::Result::Err(::serde::value::DeError::msg(\
+                             format!(\"expected {n}-element array for variant {ty}::{vn}, got {{}}\", \
+                             __other.kind()))),\n\
+                             }},\n",
+                            elems = elems.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __v {{\n{arms}\
+                 __other => ::std::result::Result::Err(::serde::value::DeError::msg(\
+                 format!(\"no variant of {ty} matches {{:?}}\", __other))),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n{} {{\n fn from_value(__v: &::serde::value::Value) \
+         -> ::std::result::Result<Self, ::serde::value::DeError> {{\n{body}\n }}\n}}",
+        de_impl_header(&input)
+    )
+    .parse()
+    .unwrap()
+}

@@ -1,0 +1,401 @@
+//! Offline mini-serde_json: *functional* `to_string` / `to_string_pretty` /
+//! `from_str` over the `Value` tree of the sibling `serde` shim.
+//!
+//! Output format matches real serde_json where this workspace can observe
+//! it: compact form has no whitespace (`{"k":1,"v":[2,3]}`), pretty form
+//! indents by two spaces, strings escape `"`, `\\` and control characters,
+//! and non-finite floats render as `null`. Integers print exactly; floats
+//! print via Rust's shortest round-trip `Display`.
+
+use serde::value::{DeError, Value};
+use std::fmt;
+
+#[derive(Debug)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    fn new(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<DeError> for Error {
+    fn from(e: DeError) -> Self {
+        Error::new(e.msg)
+    }
+}
+
+pub type Result<T> = std::result::Result<T, Error>;
+
+// -------------------------------------------------------------- rendering
+
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn float_repr(f: f64) -> String {
+    if !f.is_finite() {
+        return "null".to_string();
+    }
+    let s = format!("{f}");
+    // serde_json always keeps floats recognizably floats.
+    if s.contains('.') || s.contains('e') || s.contains('E') {
+        s
+    } else {
+        format!("{s}.0")
+    }
+}
+
+fn render(v: &Value, pretty: bool, indent: usize, out: &mut String) {
+    let pad = |n: usize| "  ".repeat(n);
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::U64(n) => out.push_str(&n.to_string()),
+        Value::I64(n) => out.push_str(&n.to_string()),
+        Value::F64(f) => out.push_str(&float_repr(*f)),
+        Value::Str(s) => escape_into(s, out),
+        Value::Seq(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                if pretty {
+                    out.push('\n');
+                    out.push_str(&pad(indent + 1));
+                }
+                render(item, pretty, indent + 1, out);
+            }
+            if pretty {
+                out.push('\n');
+                out.push_str(&pad(indent));
+            }
+            out.push(']');
+        }
+        Value::Map(fields) => {
+            if fields.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, val)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                if pretty {
+                    out.push('\n');
+                    out.push_str(&pad(indent + 1));
+                }
+                escape_into(k, out);
+                out.push(':');
+                if pretty {
+                    out.push(' ');
+                }
+                render(val, pretty, indent + 1, out);
+            }
+            if pretty {
+                out.push('\n');
+                out.push_str(&pad(indent));
+            }
+            out.push('}');
+        }
+    }
+}
+
+pub fn to_string<T: ?Sized + serde::Serialize>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    render(&value.to_value(), false, 0, &mut out);
+    Ok(out)
+}
+
+pub fn to_string_pretty<T: ?Sized + serde::Serialize>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    render(&value.to_value(), true, 0, &mut out);
+    Ok(out)
+}
+
+// ---------------------------------------------------------------- parsing
+
+struct Parser<'a> {
+    s: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn ws(&mut self) {
+        while self.at < self.s.len() && self.s[self.at].is_ascii_whitespace() {
+            self.at += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.ws();
+        self.s.get(self.at).copied()
+    }
+
+    fn eat(&mut self, c: u8) -> Result<()> {
+        self.ws();
+        if self.s.get(self.at) == Some(&c) {
+            self.at += 1;
+            Ok(())
+        } else {
+            Err(Error::new(format!(
+                "expected {:?} at byte {}, found {:?}",
+                c as char,
+                self.at,
+                self.s.get(self.at).map(|b| *b as char)
+            )))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b't') => self.lit("true", Value::Bool(true)),
+            Some(b'f') => self.lit("false", Value::Bool(false)),
+            Some(b'n') => self.lit("null", Value::Null),
+            Some(_) => self.number(),
+            None => Err(Error::new("unexpected end of input")),
+        }
+    }
+
+    fn lit(&mut self, word: &str, v: Value) -> Result<Value> {
+        self.ws();
+        if self.s[self.at..].starts_with(word.as_bytes()) {
+            self.at += word.len();
+            Ok(v)
+        } else {
+            Err(Error::new(format!("expected {word} at byte {}", self.at)))
+        }
+    }
+
+    fn number(&mut self) -> Result<Value> {
+        self.ws();
+        let start = self.at;
+        while self
+            .s
+            .get(self.at)
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.at += 1;
+        }
+        let text = std::str::from_utf8(&self.s[start..self.at])
+            .map_err(|_| Error::new(format!("bad number at byte {start}")))?;
+        if text.is_empty() {
+            return Err(Error::new(format!("bad number at byte {start}")));
+        }
+        // Exact integers stay integers (u64::MAX must round-trip).
+        if !text.contains(['.', 'e', 'E']) {
+            if let Some(stripped) = text.strip_prefix('-') {
+                if let Ok(n) = stripped.parse::<u64>() {
+                    if n <= i64::MAX as u64 + 1 {
+                        return Ok(Value::I64((n as i128).wrapping_neg() as i64));
+                    }
+                }
+            } else if let Ok(n) = text.parse::<u64>() {
+                return Ok(Value::U64(n));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::F64)
+            .map_err(|_| Error::new(format!("bad number {text:?} at byte {start}")))
+    }
+
+    fn string(&mut self) -> Result<String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.s.get(self.at) {
+                None => return Err(Error::new("unterminated string")),
+                Some(b'"') => {
+                    self.at += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.at += 1;
+                    match self.s.get(self.at) {
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'u') => {
+                            let hex = self
+                                .s
+                                .get(self.at + 1..self.at + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| Error::new("bad \\u escape"))?;
+                            out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                            self.at += 4;
+                        }
+                        Some(&c) => out.push(c as char),
+                        None => return Err(Error::new("unterminated escape")),
+                    }
+                    self.at += 1;
+                }
+                Some(&c) => {
+                    let len = match c {
+                        c if c < 0x80 => 1,
+                        c if c >= 0xf0 => 4,
+                        c if c >= 0xe0 => 3,
+                        _ => 2,
+                    };
+                    let chunk = self
+                        .s
+                        .get(self.at..self.at + len)
+                        .and_then(|b| std::str::from_utf8(b).ok())
+                        .ok_or_else(|| Error::new("bad UTF-8 in string"))?;
+                    out.push_str(chunk);
+                    self.at += len;
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value> {
+        self.eat(b'[')?;
+        let mut out = Vec::new();
+        if self.peek() == Some(b']') {
+            self.at += 1;
+            return Ok(Value::Seq(out));
+        }
+        loop {
+            out.push(self.value()?);
+            match self.peek() {
+                Some(b',') => self.at += 1,
+                Some(b']') => {
+                    self.at += 1;
+                    return Ok(Value::Seq(out));
+                }
+                other => {
+                    return Err(Error::new(format!("expected , or ] in array, found {other:?}")))
+                }
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value> {
+        self.eat(b'{')?;
+        let mut out = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.at += 1;
+            return Ok(Value::Map(out));
+        }
+        loop {
+            self.ws();
+            let key = self.string()?;
+            self.eat(b':')?;
+            out.push((key, self.value()?));
+            match self.peek() {
+                Some(b',') => self.at += 1,
+                Some(b'}') => {
+                    self.at += 1;
+                    return Ok(Value::Map(out));
+                }
+                other => {
+                    return Err(Error::new(format!("expected , or }} in object, found {other:?}")))
+                }
+            }
+        }
+    }
+}
+
+/// Parse JSON text into a [`Value`] tree (the shim's analogue of
+/// `serde_json::Value` for callers that want untyped access).
+pub fn parse_value(s: &str) -> Result<Value> {
+    let mut p = Parser { s: s.as_bytes(), at: 0 };
+    let v = p.value()?;
+    p.ws();
+    if p.at != p.s.len() {
+        return Err(Error::new(format!("trailing content at byte {}", p.at)));
+    }
+    Ok(v)
+}
+
+pub fn from_str<'a, T: serde::Deserialize<'a>>(s: &'a str) -> Result<T> {
+    let v = parse_value(s)?;
+    Ok(T::from_value(&v)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_matches_serde_json_shape() {
+        let v = Value::Map(vec![
+            ("schema_version".into(), Value::U64(2)),
+            ("name".into(), Value::Str("a\"b".into())),
+            ("xs".into(), Value::Seq(vec![Value::U64(1), Value::I64(-2), Value::F64(0.5)])),
+            ("none".into(), Value::Null),
+        ]);
+        let mut out = String::new();
+        render(&v, false, 0, &mut out);
+        assert_eq!(out, r#"{"schema_version":2,"name":"a\"b","xs":[1,-2,0.5],"none":null}"#);
+    }
+
+    #[test]
+    fn value_round_trips_through_text() {
+        let v = Value::Map(vec![
+            ("max".into(), Value::U64(u64::MAX)),
+            ("min".into(), Value::I64(i64::MIN)),
+            ("f".into(), Value::F64(1.0)),
+            ("tiny".into(), Value::F64(1.25e-9)),
+            ("s".into(), Value::Str("päck\n".into())),
+            ("b".into(), Value::Bool(true)),
+            ("empty_seq".into(), Value::Seq(vec![])),
+            ("empty_map".into(), Value::Map(vec![])),
+        ]);
+        let mut compact = String::new();
+        render(&v, false, 0, &mut compact);
+        let back = parse_value(&compact).expect("parse");
+        // 1.0 renders as "1.0" and re-reads as F64.
+        assert_eq!(back, v);
+        let mut pretty = String::new();
+        render(&v, true, 0, &mut pretty);
+        assert_eq!(parse_value(&pretty).expect("parse"), v);
+    }
+
+    #[test]
+    fn malformed_input_is_an_error() {
+        assert!(parse_value("{ \"a\": ").is_err());
+        assert!(parse_value("nope").is_err());
+        assert!(parse_value("{} x").is_err());
+        assert!(parse_value("").is_err());
+    }
+
+    #[test]
+    fn nonfinite_floats_render_null() {
+        let mut out = String::new();
+        render(&Value::F64(f64::NAN), false, 0, &mut out);
+        assert_eq!(out, "null");
+    }
+}
