@@ -23,16 +23,35 @@ use ndp_workloads::{Scale, WORKLOADS};
 use ndp_common::config::SystemConfig;
 
 fn usage() -> ! {
-    eprintln!("usage: ndp_lint [--quiet]");
+    eprintln!("usage: ndp_lint [--quiet] [--drop-edge NAME] [--drop-watch STAGE EDGE] [--drop-wake STAGE SOURCE]");
     eprintln!("  static model checks; exits 1 if any finding is printed");
+    eprintln!("  --drop-* flags mutate the lifted graph before checking (mutation");
+    eprintln!("  testing: a dropped edge/watch/wake-source must produce a finding)");
     std::process::exit(2);
+}
+
+/// A graph mutation requested on the command line, applied to every
+/// preset's lifted graph before checking. Used to demonstrate (in CI or by
+/// hand) that the soundness passes actually catch a dropped pipeline edge,
+/// an unwatched in-edge, or an unobserved internal wake source.
+#[allow(clippy::enum_variant_names)] // "Drop" is the operation, not noise
+enum Mutation {
+    DropEdge(String),
+    DropWatch(String, String),
+    DropWake(String, String),
 }
 
 fn main() {
     let mut quiet = false;
-    for arg in std::env::args().skip(1) {
+    let mut mutations: Vec<Mutation> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut take = || args.next().unwrap_or_else(|| usage());
         match arg.as_str() {
             "--quiet" | "-q" => quiet = true,
+            "--drop-edge" => mutations.push(Mutation::DropEdge(take())),
+            "--drop-watch" => mutations.push(Mutation::DropWatch(take(), take())),
+            "--drop-wake" => mutations.push(Mutation::DropWake(take(), take())),
             _ => usage(),
         }
     }
@@ -71,7 +90,18 @@ fn main() {
         ("ndp_dynamic_cache", SystemConfig::ndp_dynamic_cache()),
     ];
     for (name, cfg) in &presets {
-        for d in fabric_graph(cfg).check() {
+        let mut g = fabric_graph(cfg);
+        for m in &mutations {
+            let applied = match m {
+                Mutation::DropEdge(e) => g.remove_edge(e),
+                Mutation::DropWatch(s, e) => g.remove_watch(s, e),
+                Mutation::DropWake(s, w) => g.remove_wake(s, w),
+            };
+            if !applied {
+                emit(format!("fabric [{name}]: mutation target not found"));
+            }
+        }
+        for d in g.check() {
             emit(format!("fabric [{name}]: {d}"));
         }
     }

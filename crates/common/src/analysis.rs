@@ -101,6 +101,29 @@ pub struct SkipSpec {
     /// Edge names whose deliveries the stage's quiescence horizon sees
     /// (via the occupancy of the queues those edges fill).
     pub watches: Vec<&'static str>,
+    /// Names of the component's *internal* wake sources its horizon
+    /// observes — the maintained structures (ready sets, wake-wheels,
+    /// membership sets) that can hold deferred work between ticks. Must
+    /// cover every [`WakeSourceSpec`] registered for `node`: a source the
+    /// horizon doesn't observe is deferred work the event-driven core
+    /// could sleep through, exactly like an unwatched in-edge.
+    pub wakes: Vec<&'static str>,
+}
+
+/// One internal wake source a component registers (its `WAKE_SOURCES`
+/// const): a named structure whose occupancy can make `next_work_at`
+/// return work on a future tick without any new packet delivery. The
+/// quiescence pass cross-checks the registry against the [`SkipSpec`]
+/// declarations in both directions — a registered-but-undeclared source
+/// is a horizon blind spot; a declared-but-unregistered name is a phantom
+/// claim.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WakeSourceSpec {
+    /// The [`GraphNode`] whose component owns the source.
+    pub node: &'static str,
+    /// Source name, conventionally `component:structure`
+    /// (e.g. `sm:wake_wheel`).
+    pub name: &'static str,
 }
 
 /// The machine's communication structure as a static graph.
@@ -117,6 +140,9 @@ pub struct FabricGraph {
     /// the pipeline predates (or opts out of) event-driven skipping and
     /// the quiescence check vacuously passes.
     pub skip_specs: Vec<SkipSpec>,
+    /// Registry of internal wake sources, lifted from the components'
+    /// `WAKE_SOURCES` consts (see [`WakeSourceSpec`]).
+    pub wake_sources: Vec<WakeSourceSpec>,
 }
 
 /// One finding of [`FabricGraph::check`], naming the check family and the
@@ -163,6 +189,21 @@ impl FabricGraph {
         let before = spec.watches.len();
         spec.watches.retain(|w| *w != edge);
         spec.watches.len() != before
+    }
+
+    /// Remove one declared wake source from a stage's quiescence
+    /// declaration; `true` if it was present. Mutation-test hook (and the
+    /// way `ndp-lint --drop-wake` simulates a horizon that stopped
+    /// observing a maintained structure): the resulting graph must fail
+    /// [`FabricGraph::check`] with a `quiescence` diagnostic naming the
+    /// source.
+    pub fn remove_wake(&mut self, stage: &str, source: &str) -> bool {
+        let Some(spec) = self.skip_specs.iter_mut().find(|s| s.stage == stage) else {
+            return false;
+        };
+        let before = spec.wakes.len();
+        spec.wakes.retain(|w| *w != source);
+        spec.wakes.len() != before
     }
 
     /// Run every static check; an empty result means the graph is
@@ -216,6 +257,38 @@ impl FabricGraph {
                             "skippable stage {:?} does not watch in-edge {:?} of {:?} — \
                              a packet delivered there could be slept through",
                             spec.stage, e.name, spec.node
+                        ),
+                    });
+                }
+            }
+            // Internal wake sources, both directions: every registered
+            // source must be declared (else the horizon has a blind spot),
+            // and every declared name must be registered (else the spec
+            // claims a phantom structure and would mask a rename).
+            for w in &spec.wakes {
+                if !self
+                    .wake_sources
+                    .iter()
+                    .any(|s| s.node == spec.node && s.name == *w)
+                {
+                    diags.push(GraphDiag {
+                        check: "quiescence",
+                        detail: format!(
+                            "stage {:?} declares unregistered wake source {:?} \
+                             (not in {:?}'s WAKE_SOURCES)",
+                            spec.stage, w, spec.node
+                        ),
+                    });
+                }
+            }
+            for s in self.wake_sources.iter().filter(|s| s.node == spec.node) {
+                if !spec.wakes.contains(&s.name) {
+                    diags.push(GraphDiag {
+                        check: "quiescence",
+                        detail: format!(
+                            "skippable stage {:?} does not observe wake source {:?} of {:?} — \
+                             deferred work parked there could be slept through",
+                            spec.stage, s.name, spec.node
                         ),
                     });
                 }
@@ -431,6 +504,7 @@ mod tests {
             }],
             sites: vec!["reserve", "credits"],
             skip_specs: vec![],
+            wake_sources: vec![],
         }
     }
 
@@ -493,13 +567,19 @@ mod tests {
                 stage: "tick:a",
                 node: "a",
                 watches: vec!["bwd"],
+                wakes: vec!["a:wheel"],
             },
             SkipSpec {
                 stage: "tick:b",
                 node: "b",
                 watches: vec!["fwd"],
+                wakes: vec![],
             },
         ];
+        g.wake_sources = vec![WakeSourceSpec {
+            node: "a",
+            name: "a:wheel",
+        }];
         g
     }
 
@@ -526,12 +606,40 @@ mod tests {
     }
 
     #[test]
+    fn unobserved_wake_source_is_a_quiescence_bug() {
+        let mut g = with_specs(tiny());
+        assert!(g.remove_wake("tick:a", "a:wheel"));
+        assert!(!g.remove_wake("tick:a", "a:wheel"), "second removal no-op");
+        let diags = g.check();
+        assert!(
+            diags.iter().any(|d| d.check == "quiescence"
+                && d.detail.contains("tick:a")
+                && d.detail.contains("a:wheel")),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn phantom_wake_declaration_detected() {
+        let mut g = with_specs(tiny());
+        g.skip_specs[1].wakes.push("b:ghost_wheel");
+        let diags = g.check();
+        assert!(
+            diags.iter().any(|d| d.check == "quiescence"
+                && d.detail.contains("unregistered wake source")
+                && d.detail.contains("b:ghost_wheel")),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
     fn skip_spec_endpoints_must_exist() {
         let mut g = with_specs(tiny());
         g.skip_specs.push(SkipSpec {
             stage: "tick:ghost",
             node: "ghost",
             watches: vec![],
+            wakes: vec![],
         });
         g.skip_specs[0].watches.push("no_such_edge");
         let diags = g.check();

@@ -1,0 +1,175 @@
+//! Fixed-universe membership sets over small dense index ranges (warp
+//! slots, vaults). The event-driven scheduler keeps these sets updated at
+//! state-transition sites so hot loops and quiescence horizons cost
+//! O(members) / O(1) instead of rescanning every slot (DESIGN.md §15).
+
+/// A bitset over indices `0..universe`, with a cached member count.
+///
+/// All operations are deterministic; iteration order is ascending index,
+/// which matches the full-scan order the incremental call sites replaced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitSet {
+    words: Vec<u64>,
+    universe: usize,
+    count: usize,
+}
+
+impl BitSet {
+    pub fn new(universe: usize) -> Self {
+        BitSet {
+            words: vec![0; universe.div_ceil(64)],
+            universe,
+            count: 0,
+        }
+    }
+
+    #[inline]
+    pub fn universe(&self) -> usize {
+        self.universe
+    }
+
+    /// Number of members — O(1) via the cached count.
+    #[inline]
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    #[inline]
+    pub fn contains(&self, i: usize) -> bool {
+        debug_assert!(i < self.universe);
+        self.words[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// Insert `i`; returns true when it was not already a member.
+    #[inline]
+    pub fn insert(&mut self, i: usize) -> bool {
+        debug_assert!(i < self.universe);
+        let w = &mut self.words[i / 64];
+        let bit = 1u64 << (i % 64);
+        if *w & bit != 0 {
+            return false;
+        }
+        *w |= bit;
+        self.count += 1;
+        true
+    }
+
+    /// Remove `i`; returns true when it was a member.
+    #[inline]
+    pub fn remove(&mut self, i: usize) -> bool {
+        debug_assert!(i < self.universe);
+        let w = &mut self.words[i / 64];
+        let bit = 1u64 << (i % 64);
+        if *w & bit == 0 {
+            return false;
+        }
+        *w &= !bit;
+        self.count -= 1;
+        true
+    }
+
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+        self.count = 0;
+    }
+
+    /// Smallest member `>= from`, or None. The building block for both
+    /// ascending iteration and the round-robin issue scan.
+    pub fn next_at_or_after(&self, from: usize) -> Option<usize> {
+        if from >= self.universe {
+            return None;
+        }
+        let mut wi = from / 64;
+        let mut word = self.words[wi] & (u64::MAX << (from % 64));
+        loop {
+            if word != 0 {
+                let i = wi * 64 + word.trailing_zeros() as usize;
+                return (i < self.universe).then_some(i);
+            }
+            wi += 1;
+            if wi >= self.words.len() {
+                return None;
+            }
+            word = self.words[wi];
+        }
+    }
+
+    /// Members in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        let mut next = 0usize;
+        std::iter::from_fn(move || {
+            let i = self.next_at_or_after(next)?;
+            next = i + 1;
+            Some(i)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains_count() {
+        let mut s = BitSet::new(100);
+        assert!(s.is_empty());
+        assert!(s.insert(0));
+        assert!(s.insert(63));
+        assert!(s.insert(64));
+        assert!(s.insert(99));
+        assert!(!s.insert(63), "double insert is a no-op");
+        assert_eq!(s.count(), 4);
+        assert!(s.contains(64));
+        assert!(!s.contains(65));
+        assert!(s.remove(63));
+        assert!(!s.remove(63), "double remove is a no-op");
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 64, 99]);
+    }
+
+    #[test]
+    fn next_at_or_after_scans_words() {
+        let mut s = BitSet::new(130);
+        for i in [3, 64, 127, 129] {
+            s.insert(i);
+        }
+        assert_eq!(s.next_at_or_after(0), Some(3));
+        assert_eq!(s.next_at_or_after(3), Some(3));
+        assert_eq!(s.next_at_or_after(4), Some(64));
+        assert_eq!(s.next_at_or_after(65), Some(127));
+        assert_eq!(s.next_at_or_after(128), Some(129));
+        assert_eq!(s.next_at_or_after(130), None);
+        s.remove(129);
+        assert_eq!(s.next_at_or_after(128), None);
+    }
+
+    #[test]
+    fn matches_naive_set_under_random_ops() {
+        // Deterministic xorshift-driven differential test vs a Vec<bool>.
+        let mut s = BitSet::new(77);
+        let mut naive = [false; 77];
+        let mut x = 0x9e3779b97f4a7c15u64;
+        for _ in 0..10_000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let i = (x % 77) as usize;
+            if x & 1 == 0 {
+                assert_eq!(s.insert(i), !naive[i]);
+                naive[i] = true;
+            } else {
+                assert_eq!(s.remove(i), naive[i]);
+                naive[i] = false;
+            }
+            assert_eq!(s.count(), naive.iter().filter(|&&b| b).count());
+            let from = (x >> 8) as usize % 80;
+            let expect = (from..77).find(|&j| naive[j]);
+            assert_eq!(s.next_at_or_after(from), expect);
+        }
+    }
+}

@@ -18,6 +18,7 @@
 #![forbid(unsafe_code)]
 
 pub mod analysis;
+pub mod bitset;
 pub mod config;
 pub mod credit;
 pub mod env;
@@ -35,7 +36,8 @@ pub mod snap;
 pub mod stats;
 pub mod watchdog;
 
-pub use analysis::{CreditPoolSpec, FabricGraph, GraphDiag, GraphEdge, GraphNode};
+pub use analysis::{CreditPoolSpec, FabricGraph, GraphDiag, GraphEdge, GraphNode, WakeSourceSpec};
+pub use bitset::BitSet;
 pub use config::SystemConfig;
 pub use error::{PacketSummary, SimError};
 pub use fault::{FaultAction, FaultConfig, FaultInjector, FaultStats, InjectedFault};

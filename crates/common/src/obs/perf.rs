@@ -40,8 +40,11 @@ use crate::ids::Cycle;
 /// tooling (dashboards, `BENCH_core.json` diffing) can evolve. v2 added
 /// the `skipped` counter and `skip_frac` from the event-driven core: the
 /// per-stage accounting identity is now
-/// `invocations + gated + skipped == cycles`.
-pub const PERF_SCHEMA_VERSION: u32 = 2;
+/// `invocations + gated + skipped == cycles`. v3 added
+/// `sm_ready_occupancy` — per-SM mean ready-set size from the ready-set
+/// scheduler (DESIGN.md §15), the direct measure of how much issue-scan
+/// work each invoked cycle actually holds.
+pub const PERF_SCHEMA_VERSION: u32 = 3;
 
 /// Profiling knobs. `Default` is fully disabled.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -377,6 +380,7 @@ impl Perf {
             timed_passes: self.passes.div_ceil(self.cfg.stride.max(1)),
             stages,
             heartbeats: self.heartbeats.iter().copied().collect(),
+            sm_ready_occupancy: Vec::new(),
         }
     }
 }
@@ -423,6 +427,13 @@ pub struct PerfReport {
     pub timed_passes: u64,
     pub stages: Vec<StagePerf>,
     pub heartbeats: Vec<Heartbeat>,
+    /// Mean ready-set size per SM over its invoked issue cycles (index =
+    /// SM id): how many warps were actual issue candidates when the
+    /// scheduler ran. Filled by the simulator core after the run (the
+    /// profiler itself never inspects components); empty when the model
+    /// has no SMs or profiling predates v3.
+    #[serde(default)]
+    pub sm_ready_occupancy: Vec<f64>,
 }
 
 impl PerfReport {
@@ -463,6 +474,19 @@ impl PerfReport {
                 s.moved,
                 s.est_wall_ns as f64 / 1e6,
                 s.wall_frac * 100.0
+            ));
+        }
+        if !self.sm_ready_occupancy.is_empty() {
+            let n = self.sm_ready_occupancy.len();
+            let mean: f64 = self.sm_ready_occupancy.iter().sum::<f64>() / n as f64;
+            let max = self
+                .sm_ready_occupancy
+                .iter()
+                .cloned()
+                .fold(f64::NEG_INFINITY, f64::max);
+            out.push_str(&format!(
+                "sm ready-set occupancy: mean {mean:.2} warps over {n} SMs (max {max:.2}) \
+                 per invoked issue cycle\n"
             ));
         }
         if let Some(hb) = self.heartbeats.last() {
@@ -626,11 +650,22 @@ mod tests {
         let mut p = perf(PerfConfig::on());
         p.cycle_begin(0);
         p.stage(1, StageOutcome::Routed(2));
-        let r = p.report(1);
+        let mut r = p.report(1);
+        r.sm_ready_occupancy = vec![1.5, 0.25];
         assert_eq!(r.schema_version, PERF_SCHEMA_VERSION);
         let json = serde_json::to_string(&r).unwrap();
-        assert!(json.contains("\"schema_version\":2"));
+        assert!(json.contains("\"schema_version\":3"));
         let back: PerfReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back.stages.len(), 3);
+        assert_eq!(back.sm_ready_occupancy, vec![1.5, 0.25]);
+        assert!(
+            r.table_text().contains("ready-set occupancy"),
+            "{}",
+            r.table_text()
+        );
+        // v2 reports (no occupancy field) still deserialize.
+        let v2 = json.replace(",\"sm_ready_occupancy\":[1.5,0.25]", "");
+        let old: PerfReport = serde_json::from_str(&v2).unwrap();
+        assert!(old.sm_ready_occupancy.is_empty());
     }
 }

@@ -17,7 +17,7 @@
 //! they must not be computed from the routing code itself.
 
 use ndp_common::analysis::{
-    kind_bit, CreditPoolSpec, FabricGraph, GraphEdge, GraphNode, KindMask, SkipSpec,
+    kind_bit, CreditPoolSpec, FabricGraph, GraphEdge, GraphNode, KindMask, SkipSpec, WakeSourceSpec,
 };
 use ndp_common::config::SystemConfig;
 use ndp_common::port::{Op, Stage};
@@ -217,11 +217,39 @@ fn skip_spec_of(c: Comp) -> SkipSpec {
         Comp::Nsus => ("tick:nsus", "nsu", vec!["stack_to_nsu"]),
         Comp::DownLinks => ("tick:downlinks", "down_link", vec!["stack_to_gpu"]),
     };
+    // Internal wake sources the stage's horizon observes, mirrored from the
+    // components' WAKE_SOURCES consts (diffed against the registry by
+    // check_quiescence, so a drift in either direction is a lint error).
+    let wakes = match c {
+        Comp::Sms => ndp_gpu::Sm::WAKE_SOURCES.to_vec(),
+        Comp::Stacks => ndp_hmc::HmcStack::WAKE_SOURCES.to_vec(),
+        _ => vec![],
+    };
     SkipSpec {
         stage,
         node,
         watches,
+        wakes,
     }
+}
+
+/// The wake-source registry of the machine: each component class that
+/// maintains internal deferred-work structures exports them as a
+/// `WAKE_SOURCES` const next to the code that updates them; lifting pulls
+/// those consts here so the quiescence pass sees the *implementation's*
+/// list, not a copy.
+fn wake_sources() -> Vec<WakeSourceSpec> {
+    let mut v = Vec::new();
+    for name in ndp_gpu::Sm::WAKE_SOURCES {
+        v.push(WakeSourceSpec { node: "sm", name });
+    }
+    for name in ndp_hmc::HmcStack::WAKE_SOURCES {
+        v.push(WakeSourceSpec {
+            node: "stack",
+            name,
+        });
+    }
+    v
 }
 
 /// Lift an arbitrary stage list. Separated from [`fabric_graph`] so tests
@@ -229,6 +257,7 @@ fn skip_spec_of(c: Comp) -> SkipSpec {
 fn lift(cfg: &SystemConfig, stages: &[Stage<System>]) -> FabricGraph {
     let mut g = FabricGraph {
         nodes: nodes(),
+        wake_sources: wake_sources(),
         ..Default::default()
     };
     // The acquire side of the reservation protocol is SM issue logic, not
@@ -362,6 +391,41 @@ mod tests {
                 && d.detail.contains("up_link")),
             "{diags:?}"
         );
+    }
+
+    #[test]
+    fn dropping_a_wake_wheel_declaration_is_caught_by_name() {
+        // Simulates an SM horizon that stopped observing the wake-wheel:
+        // the registry (lifted from Sm::WAKE_SOURCES) still lists it, so
+        // the quiescence pass must flag the blind spot by name.
+        let mut g = fabric_graph(&SystemConfig::ndp_dynamic());
+        assert!(g.remove_wake("tick:sms", "sm:wake_wheel"));
+        let diags = g.check();
+        assert!(
+            diags.iter().any(|d| d.check == "quiescence"
+                && d.detail.contains("tick:sms")
+                && d.detail.contains("sm:wake_wheel")),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn stack_wake_sources_are_registered_and_declared() {
+        let g = fabric_graph(&SystemConfig::ndp_dynamic());
+        let spec = g
+            .skip_specs
+            .iter()
+            .find(|s| s.stage == "tick:stacks")
+            .expect("stacks spec");
+        for name in ndp_hmc::HmcStack::WAKE_SOURCES {
+            assert!(spec.wakes.contains(name), "missing {name}");
+            assert!(
+                g.wake_sources
+                    .iter()
+                    .any(|s| s.node == "stack" && s.name == *name),
+                "unregistered {name}"
+            );
+        }
     }
 
     #[test]

@@ -621,7 +621,9 @@ impl System {
             r.obs = Some(self.obs.report());
         }
         if self.perf.is_on() {
-            r.perf = Some(self.perf.report(self.now));
+            let mut perf = self.perf.report(self.now);
+            perf.sm_ready_occupancy = self.sms.iter().map(|sm| sm.ready_occupancy()).collect();
+            r.perf = Some(perf);
         }
         r
     }

@@ -11,9 +11,10 @@
 //! (operand not ready), WarpIdle (no runnable instruction — empty slots,
 //! barriers, or warps blocked on offload acknowledgments).
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::Arc;
 
+use ndp_common::bitset::BitSet;
 use ndp_common::config::SystemConfig;
 use ndp_common::error::{PacketSummary, SimError};
 use ndp_common::ids::{Cycle, HmcId, Node, OffloadId, OffloadToken};
@@ -114,7 +115,9 @@ struct OflCtx {
     seq: u16,
     reserved: bool,
     /// Packets staged until the reservation is granted (pending buffer).
-    staged: Vec<Packet>,
+    /// A deque: promotion drains from the front while issue appends at the
+    /// back, and `Vec::remove(0)` made the drain quadratic in depth.
+    staged: VecDeque<Packet>,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -139,7 +142,7 @@ struct WarpSlot {
     /// Memoized coalesce result for the current memory instruction
     /// (`(executed-count, accesses)`), so repeated issue attempts under
     /// structural stalls don't redo the 32-lane grouping.
-    coalesced: Option<(u64, Vec<LineAccess>)>,
+    coalesced: Option<(u64, Arc<Vec<LineAccess>>)>,
 }
 
 /// In-flight offload bookkeeping (per SM).
@@ -187,6 +190,49 @@ pub struct Sm {
     pub block_instrs: u64,
     /// Warps that have fully completed (including ACK waits).
     pub warps_retired: u64,
+
+    // ---- Incremental scheduler state (DESIGN.md §15) ----
+    //
+    // Everything below is derived from `slots` and maintained at the state-
+    // transition sites, never rediscovered by per-cycle scans. None of it is
+    // serialized: `restore` rebuilds it with `rebuild_sched`, keeping the
+    // snapshot format byte-identical to the scan-based scheduler's.
+    //
+    /// Issue candidates: occupied slots in `Ready` state whose `wake_at` has
+    /// passed (the wake-wheel moves slots here as their cycle arrives).
+    sched_ready: BitSet,
+    /// Dependency-stalled `Ready` slots keyed by their wake cycle. Slots
+    /// parked at `Cycle::MAX` (awaiting a load fill) are in neither
+    /// structure — `deliver` wakes them directly.
+    wake_wheel: BTreeMap<Cycle, Vec<usize>>,
+    /// Drained wheel buckets kept for reuse. A napping warp cycles through
+    /// attach → service every few cycles; recycling the bucket vectors
+    /// keeps that loop off the allocator. Pure cache: never serialized,
+    /// never observed.
+    wheel_pool: Vec<Vec<usize>>,
+    /// Cycle of the most recent `service_wheel` call; every wheel key is
+    /// strictly greater except transiently after a checkpoint restore.
+    wheel_serviced_at: Cycle,
+    /// Slots whose offload target is known but whose NSU-buffer reservation
+    /// is still denied (`retry_reservations` candidates).
+    retry_set: BitSet,
+    /// Slots with a granted reservation and staged packets to promote
+    /// (`promote_and_eject` candidates).
+    promote_set: BitSet,
+    /// Occupied slots in `Ready` state regardless of `wake_at` — the O(1)
+    /// input to `note_skipped`'s stall attribution.
+    ready_state_count: usize,
+    /// Total staged packets across all offload contexts (pending-buffer
+    /// admission check in `issue_rdf`/`issue_wta`).
+    staged_total: usize,
+    /// Perf-report surface: invoked issue cycles and the summed ready-set
+    /// size over them (not model state; excluded from snapshots).
+    ready_ticks: u64,
+    ready_sum: u64,
+    /// Test-only fault: drop wake-wheel insertions so the consistency
+    /// checker's detection of a missing update site can be demonstrated.
+    #[doc(hidden)]
+    pub sabotage_drop_wheel: bool,
 }
 
 impl Sm {
@@ -216,6 +262,17 @@ impl Sm {
             stats: IssueStats::default(),
             block_instrs: 0,
             warps_retired: 0,
+            sched_ready: BitSet::new(cfg.warp_slots),
+            wake_wheel: BTreeMap::new(),
+            wheel_pool: Vec::new(),
+            wheel_serviced_at: 0,
+            retry_set: BitSet::new(cfg.warp_slots),
+            promote_set: BitSet::new(cfg.warp_slots),
+            ready_state_count: 0,
+            staged_total: 0,
+            ready_ticks: 0,
+            ready_sum: 0,
+            sabotage_drop_wheel: false,
             kernel,
         }
     }
@@ -281,7 +338,7 @@ impl Sm {
             if let Some((execd, accesses)) = &slot.coalesced {
                 w.u64(*execd);
                 w.len(accesses.len());
-                for a in accesses {
+                for a in accesses.iter() {
                     a.snap(w);
                 }
             }
@@ -387,9 +444,9 @@ impl Sm {
                 let target_raw = r.u8()?;
                 let seq = r.u16()?;
                 let reserved = r.bool()?;
-                let mut staged = Vec::new();
+                let mut staged = VecDeque::new();
                 for _ in 0..r.len()? {
-                    staged.push(Packet::restore(r)?);
+                    staged.push_back(Packet::restore(r)?);
                 }
                 Some(OflCtx {
                     block,
@@ -411,7 +468,7 @@ impl Sm {
                 for _ in 0..r.len()? {
                     accesses.push(LineAccess::restore(r)?);
                 }
-                Some((execd, accesses))
+                Some((execd, Arc::new(accesses)))
             } else {
                 None
             };
@@ -487,7 +544,285 @@ impl Sm {
         self.stats.warp_idle = r.u64()?;
         self.block_instrs = r.u64()?;
         self.warps_retired = r.u64()?;
+        self.rebuild_sched();
         Ok(())
+    }
+
+    /// Rebuild every derived scheduler structure from `slots` (restore
+    /// path). `Ready` slots with a nonzero finite `wake_at` all go to the
+    /// wheel — possibly with an already-passed key, which the first
+    /// `service_wheel` call drains — so no resume cycle is needed here.
+    fn rebuild_sched(&mut self) {
+        self.sched_ready.clear();
+        self.wake_wheel.clear();
+        self.wheel_serviced_at = 0;
+        self.retry_set.clear();
+        self.promote_set.clear();
+        self.ready_state_count = 0;
+        self.staged_total = 0;
+        for i in 0..self.slots.len() {
+            let Some(slot) = self.slots[i].as_ref() else {
+                continue;
+            };
+            if slot.state == WState::Ready {
+                self.ready_state_count += 1;
+                if slot.wake_at == 0 {
+                    self.sched_ready.insert(i);
+                } else if slot.wake_at != Cycle::MAX {
+                    self.wake_wheel.entry(slot.wake_at).or_default().push(i);
+                }
+            }
+            if let Some(ofl) = slot.ofl.as_ref() {
+                self.staged_total += ofl.staged.len();
+                if ofl.target.is_some() && !ofl.reserved {
+                    self.retry_set.insert(i);
+                }
+                if ofl.reserved && !ofl.staged.is_empty() {
+                    self.promote_set.insert(i);
+                }
+            }
+        }
+    }
+
+    /// Move every wheel slot whose wake cycle has arrived into the ready
+    /// set. Runs at the top of each invoked tick; between ticks the horizon
+    /// keeps the system from jumping past the earliest wheel key.
+    fn service_wheel(&mut self, now: Cycle) {
+        self.wheel_serviced_at = now;
+        while let Some((&at, _)) = self.wake_wheel.first_key_value() {
+            if at > now {
+                break;
+            }
+            let mut bucket = self.wake_wheel.remove(&at).expect("peeked above");
+            for &i in &bucket {
+                debug_assert!(
+                    matches!(&self.slots[i], Some(s) if s.state == WState::Ready),
+                    "wake-wheel slot must still be Ready"
+                );
+                self.sched_ready.insert(i);
+            }
+            if self.wheel_pool.len() < 32 {
+                bucket.clear();
+                self.wheel_pool.push(bucket);
+            }
+        }
+    }
+
+    /// Remove slot `i` from whichever issue structure holds it (ready set
+    /// or wake-wheel bucket at its current `wake_at`). Call *before*
+    /// mutating the slot's `state` or `wake_at`.
+    fn sched_detach(&mut self, i: usize) {
+        if self.sched_ready.remove(i) {
+            return;
+        }
+        let Some(slot) = self.slots[i].as_ref() else {
+            return;
+        };
+        let at = slot.wake_at;
+        if at == Cycle::MAX {
+            return;
+        }
+        if let Some(bucket) = self.wake_wheel.get_mut(&at) {
+            bucket.retain(|&j| j != i);
+            if bucket.is_empty() {
+                let bucket = self.wake_wheel.remove(&at).expect("present");
+                if self.wheel_pool.len() < 32 {
+                    self.wheel_pool.push(bucket);
+                }
+            }
+        }
+    }
+
+    /// Re-file a `Ready` slot after its `wake_at` changed: issuable now →
+    /// ready set, finite future wake → wheel, `Cycle::MAX` → parked until
+    /// `deliver` wakes it.
+    fn sched_attach(&mut self, i: usize, now: Cycle) {
+        let Some(slot) = self.slots[i].as_ref() else {
+            return;
+        };
+        if slot.state != WState::Ready {
+            return;
+        }
+        let at = slot.wake_at;
+        if at <= now {
+            self.sched_ready.insert(i);
+        } else if at != Cycle::MAX && !self.sabotage_drop_wheel {
+            let pool = &mut self.wheel_pool;
+            self.wake_wheel
+                .entry(at)
+                .or_insert_with(|| pool.pop().unwrap_or_default())
+                .push(i);
+        }
+    }
+
+    /// A load fill (or barrier-independent wake) arrived for slot `i`:
+    /// clear its stall and make it an issue candidate if it is `Ready`.
+    fn wake_now(&mut self, i: usize) {
+        self.sched_detach(i);
+        let Some(slot) = self.slots[i].as_mut() else {
+            return;
+        };
+        slot.wake_at = 0;
+        if slot.state == WState::Ready {
+            self.sched_ready.insert(i);
+        }
+    }
+
+    /// Internal structures whose updates can create work for a future tick.
+    /// ndp-lint's quiescence pass cross-checks this list against the wake
+    /// sources declared on the `tick:sms` skip spec: forgetting to declare
+    /// a new one (or declaring a phantom) is a lint error, because
+    /// `next_work_at` must observe every structure that can hold deferred
+    /// work.
+    pub const WAKE_SOURCES: &'static [&'static str] = &[
+        "sm:launch_queue",
+        "sm:ndp_buffers",
+        "sm:sched_ready",
+        "sm:wake_wheel",
+        "sm:retry_set",
+        "sm:promote_set",
+    ];
+
+    /// Brute-force reference horizon: the pre-ready-set implementation that
+    /// rescans every slot. Kept as the oracle the property suite diffs the
+    /// incremental structures against.
+    #[doc(hidden)]
+    pub fn next_work_at_oracle(&self, now: Cycle) -> Option<Cycle> {
+        if !self.launch_queue.is_empty() || !self.buffers.is_empty() {
+            return Some(now);
+        }
+        let mut horizon: Option<Cycle> = None;
+        for slot in self.slots.iter().flatten() {
+            if let Some(ofl) = &slot.ofl {
+                if ofl.target.is_some() && (!ofl.reserved || !ofl.staged.is_empty()) {
+                    return Some(now);
+                }
+            }
+            if slot.state == WState::Ready {
+                if slot.wake_at <= now {
+                    return Some(now);
+                }
+                if slot.wake_at != Cycle::MAX {
+                    horizon = Some(horizon.map_or(slot.wake_at, |h: Cycle| h.min(slot.wake_at)));
+                }
+            }
+        }
+        horizon
+    }
+
+    /// Diff every incremental scheduler structure against a brute-force
+    /// full-slot rescan. Any stale or missing membership is reported with
+    /// the structure's name — the oracle the randomized property test and
+    /// the wake-wheel mutation test both lean on.
+    #[doc(hidden)]
+    pub fn check_sched_consistency(&self) -> Result<(), String> {
+        let mut ready_count = 0usize;
+        let mut staged = 0usize;
+        let in_wheel =
+            |i: usize, at: Cycle| self.wake_wheel.get(&at).is_some_and(|b| b.contains(&i));
+        let in_any_bucket = |i: usize| self.wake_wheel.values().any(|b| b.contains(&i));
+        for (i, s) in self.slots.iter().enumerate() {
+            let Some(slot) = s else {
+                if self.sched_ready.contains(i) {
+                    return Err(format!("sched_ready contains empty slot {i}"));
+                }
+                if in_any_bucket(i) {
+                    return Err(format!("wake_wheel contains empty slot {i}"));
+                }
+                if self.retry_set.contains(i) {
+                    return Err(format!("retry_set contains empty slot {i}"));
+                }
+                if self.promote_set.contains(i) {
+                    return Err(format!("promote_set contains empty slot {i}"));
+                }
+                continue;
+            };
+            if slot.state == WState::Ready {
+                ready_count += 1;
+                if slot.wake_at <= self.wheel_serviced_at {
+                    if !self.sched_ready.contains(i) {
+                        return Err(format!(
+                            "sched_ready missing slot {i} (Ready, wake_at {} already serviced)",
+                            slot.wake_at
+                        ));
+                    }
+                    if in_any_bucket(i) {
+                        return Err(format!("wake_wheel stale entry for ready slot {i}"));
+                    }
+                } else if slot.wake_at != Cycle::MAX {
+                    if self.sched_ready.contains(i) {
+                        return Err(format!(
+                            "sched_ready stale entry for slot {i} (wake_at {} in the future)",
+                            slot.wake_at
+                        ));
+                    }
+                    if !in_wheel(i, slot.wake_at) {
+                        return Err(format!(
+                            "wake_wheel missing slot {i} at wake_at {} — a wake-wheel \
+                             update site was dropped",
+                            slot.wake_at
+                        ));
+                    }
+                } else {
+                    if self.sched_ready.contains(i) {
+                        return Err(format!("sched_ready contains load-parked slot {i}"));
+                    }
+                    if in_any_bucket(i) {
+                        return Err(format!("wake_wheel contains load-parked slot {i}"));
+                    }
+                }
+            } else {
+                if self.sched_ready.contains(i) {
+                    return Err(format!("sched_ready contains non-Ready slot {i}"));
+                }
+                if in_any_bucket(i) {
+                    return Err(format!("wake_wheel contains non-Ready slot {i}"));
+                }
+            }
+            let (want_retry, want_promote) = slot.ofl.as_ref().map_or((false, false), |ofl| {
+                staged += ofl.staged.len();
+                (
+                    ofl.target.is_some() && !ofl.reserved,
+                    ofl.reserved && !ofl.staged.is_empty(),
+                )
+            });
+            if self.retry_set.contains(i) != want_retry {
+                return Err(format!(
+                    "retry_set disagrees with rescan for slot {i} (expected {want_retry})"
+                ));
+            }
+            if self.promote_set.contains(i) != want_promote {
+                return Err(format!(
+                    "promote_set disagrees with rescan for slot {i} (expected {want_promote})"
+                ));
+            }
+        }
+        if self.ready_state_count != ready_count {
+            return Err(format!(
+                "ready_state_count is {}, rescan says {ready_count}",
+                self.ready_state_count
+            ));
+        }
+        if self.staged_total != staged {
+            return Err(format!(
+                "staged_total is {}, rescan says {staged}",
+                self.staged_total
+            ));
+        }
+        if let Some(b) = self.wake_wheel.values().find(|b| b.is_empty()) {
+            let _ = b;
+            return Err("wake_wheel holds an empty bucket".to_string());
+        }
+        Ok(())
+    }
+
+    /// Mean ready-set size per invoked issue cycle (perf-report surface).
+    pub fn ready_occupancy(&self) -> f64 {
+        if self.ready_ticks == 0 {
+            0.0
+        } else {
+            self.ready_sum as f64 / self.ready_ticks as f64
+        }
     }
 
     fn spawn_warps(&mut self) {
@@ -511,6 +846,8 @@ impl Sm {
                     wake_at: 0,
                     coalesced: None,
                 });
+                self.ready_state_count += 1;
+                self.sched_ready.insert(i);
             }
         }
     }
@@ -518,6 +855,7 @@ impl Sm {
     /// Advance one cycle. Issues instructions, stages/promotes NDP packets,
     /// ejects packets into `out`.
     pub fn tick(&mut self, now: Cycle, env: &mut dyn NdpEnv) {
+        self.service_wheel(now);
         self.spawn_warps();
         self.retry_reservations(env);
         self.issue(now, env);
@@ -525,34 +863,54 @@ impl Sm {
     }
 
     /// Retry buffer reservations for warps whose target is known (§4.1.1:
-    /// packets wait in the pending buffer until granted).
+    /// packets wait in the pending buffer until granted). Only `retry_set`
+    /// members — target known, grant outstanding — are visited, in the same
+    /// ascending slot order the full scan used.
     fn retry_reservations(&mut self, env: &mut dyn NdpEnv) {
-        for slot in self.slots.iter_mut().flatten() {
-            if let Some(ofl) = slot.ofl.as_mut() {
-                if !ofl.reserved {
-                    if let Some(hmc) = ofl.target {
-                        let b = self.kernel.block(ofl.block);
-                        if env.try_reserve(hmc, b.n_loads(), b.n_stores()) {
-                            ofl.reserved = true;
-                        }
-                    }
+        let mut from = 0;
+        while let Some(i) = self.retry_set.next_at_or_after(from) {
+            from = i + 1;
+            let slot = self.slots[i].as_ref().expect("retry_set slot is resident");
+            let ofl = slot.ofl.as_ref().expect("retry_set slot has offload ctx");
+            let hmc = ofl.target.expect("retry_set slot has a target");
+            let b = self.kernel.block(ofl.block);
+            if env.try_reserve(hmc, b.n_loads(), b.n_stores()) {
+                let ofl = self.slots[i]
+                    .as_mut()
+                    .expect("checked")
+                    .ofl
+                    .as_mut()
+                    .expect("checked");
+                ofl.reserved = true;
+                let has_staged = !ofl.staged.is_empty();
+                self.retry_set.remove(i);
+                if has_staged {
+                    self.promote_set.insert(i);
                 }
             }
         }
     }
 
-    /// Move granted staged packets into the ready buffer and eject.
+    /// Move granted staged packets into the ready buffer and eject. Only
+    /// `promote_set` members — reserved with staged packets — are visited,
+    /// in the same ascending slot order the full scan used.
     fn promote_and_eject(&mut self) {
-        for slot in self.slots.iter_mut().flatten() {
-            if let Some(ofl) = slot.ofl.as_mut() {
-                if ofl.reserved {
-                    let target = ofl.target.expect("reserved implies target");
-                    while !ofl.staged.is_empty() && self.buffers.ready_has_room(1) {
-                        let mut p = ofl.staged.remove(0);
-                        retarget(&mut p, target);
-                        self.buffers.push_ready(p).expect("room checked");
-                    }
-                }
+        let mut from = 0;
+        while let Some(i) = self.promote_set.next_at_or_after(from) {
+            from = i + 1;
+            let slot = self.slots[i]
+                .as_mut()
+                .expect("promote_set slot is resident");
+            let ofl = slot.ofl.as_mut().expect("promote_set slot has offload ctx");
+            let target = ofl.target.expect("reserved implies target");
+            while !ofl.staged.is_empty() && self.buffers.ready_has_room(1) {
+                let mut p = ofl.staged.pop_front().expect("nonempty");
+                retarget(&mut p, target);
+                self.buffers.push_ready(p).expect("room checked");
+                self.staged_total -= 1;
+            }
+            if ofl.staged.is_empty() {
+                self.promote_set.remove(i);
             }
         }
         for _ in 0..self.cfg.eject_rate {
@@ -575,23 +933,32 @@ impl Sm {
         let mut saw_exec_busy = false;
         let mut saw_dep = false;
 
-        for k in 0..n {
-            if issued >= self.cfg.issue_width {
+        self.ready_ticks += 1;
+        self.ready_sum += self.sched_ready.count() as u64;
+        // Ready slots parked in the wake-wheel or on an outstanding load:
+        // the full scan visited each and recorded a dependency stall. Only
+        // consulted when nothing issues, exactly like the scanned flag.
+        let deferred_dep = self.ready_state_count > self.sched_ready.count();
+
+        // Round-robin scan over ready-set members only, replicating the
+        // full scan's visit sequence exactly: position (rr_cursor + k) % n
+        // for k in 0..n, with rr_cursor advancing past each issued slot.
+        // The bitset jump elides the empty/stalled/blocked positions the
+        // old loop `continue`d over; membership is re-read live, so slots
+        // woken mid-scan (barrier release) are still visited.
+        let mut k = 0usize;
+        while k < n && issued < self.cfg.issue_width {
+            let p = (self.rr_cursor + k) % n;
+            let Some(i) = self
+                .sched_ready
+                .next_at_or_after(p)
+                .or_else(|| self.sched_ready.next_at_or_after(0))
+            else {
                 break;
-            }
-            let i = (self.rr_cursor + k) % n;
-            let Some(slotref) = self.slots[i].as_mut() else {
-                continue;
             };
-            if slotref.state != WState::Ready {
-                if slotref.state == WState::WaitAck || slotref.state == WState::Barrier {
-                    // Blocked warps are the WarpIdle class; nothing to scan.
-                }
-                continue;
-            }
-            if slotref.wake_at > now {
-                saw_dep = true;
-                continue;
+            k += (i + n - p) % n;
+            if k >= n {
+                break;
             }
             match self.try_issue_warp(now, i, env, &mut alu_free, &mut lsu_free, &mut sfu_free) {
                 IssueResult::Issued => {
@@ -602,13 +969,14 @@ impl Sm {
                 IssueResult::DepStall => saw_dep = true,
                 IssueResult::Idle => {}
             }
+            k += 1;
         }
 
         if issued > 0 {
             self.stats.issued += issued as u64;
         } else if saw_exec_busy {
             self.stats.record_no_issue(NoIssue::ExecUnitBusy);
-        } else if saw_dep {
+        } else if saw_dep || deferred_dep {
             self.stats.record_no_issue(NoIssue::DependencyStall);
         } else {
             self.stats.record_no_issue(NoIssue::WarpIdle);
@@ -669,8 +1037,9 @@ impl Sm {
                         target: None,
                         seq: 0,
                         reserved: false,
-                        staged: vec![cmd],
+                        staged: VecDeque::from([cmd]),
                     });
+                    self.staged_total += 1;
                 } else {
                     slot.local_block = Some(bid);
                 }
@@ -690,15 +1059,13 @@ impl Sm {
                 slot.state = WState::Barrier;
                 let cta = slot.cta;
                 slot.exec.advance(program);
+                self.sched_detach(slot_idx);
+                self.ready_state_count -= 1;
                 let arrived = self.barrier_arrived.entry(cta).or_insert(0);
                 *arrived += 1;
                 if *arrived >= *self.cta_alive.get(&cta).unwrap_or(&0) {
                     self.barrier_arrived.insert(cta, 0);
-                    for s in self.slots.iter_mut().flatten() {
-                        if s.cta == cta && s.state == WState::Barrier {
-                            s.state = WState::Ready;
-                        }
-                    }
+                    self.release_barrier(cta);
                 }
                 IssueResult::Issued
             }
@@ -759,9 +1126,9 @@ impl Sm {
                 }
                 let accesses = self.coalesce_memo(slot_idx, addr);
                 let r = if role == Some(InstrRole::Load) {
-                    self.issue_rdf(now, slot_idx, accesses, env)
+                    self.issue_rdf(now, slot_idx, &accesses, env)
                 } else {
-                    self.issue_local_load(now, slot_idx, idx, dst, accesses, env)
+                    self.issue_local_load(now, slot_idx, idx, dst, &accesses, env)
                 };
                 if matches!(r, IssueResult::Issued) {
                     *lsu_free -= 1;
@@ -785,9 +1152,9 @@ impl Sm {
                 }
                 let accesses = self.coalesce_memo(slot_idx, addr);
                 let r = if role == Some(InstrRole::Store) {
-                    self.issue_wta(now, slot_idx, accesses, env)
+                    self.issue_wta(now, slot_idx, &accesses, env)
                 } else {
-                    self.issue_local_store(now, slot_idx, idx, accesses)
+                    self.issue_local_store(now, slot_idx, idx, &accesses)
                 };
                 if matches!(r, IssueResult::Issued) {
                     *lsu_free -= 1;
@@ -832,7 +1199,9 @@ impl Sm {
         if at <= now {
             true
         } else {
+            self.sched_detach(slot_idx);
             self.slots[slot_idx].as_mut().expect("checked").wake_at = at;
+            self.sched_attach(slot_idx, now);
             false
         }
     }
@@ -840,25 +1209,31 @@ impl Sm {
     /// Structural-hazard backoff: skip this warp for a few cycles (MSHRs
     /// and output queues rarely free up within one cycle). The wake slot is
     /// cleared by `deliver` when a fill arrives anyway.
-    fn nap(&mut self, slot_idx: usize, until: Cycle) {
+    fn nap(&mut self, now: Cycle, slot_idx: usize, until: Cycle) {
+        self.sched_detach(slot_idx);
         let slot = self.slots[slot_idx].as_mut().expect("checked");
         slot.wake_at = slot.wake_at.max(until);
+        self.sched_attach(slot_idx, now);
     }
 
     /// Coalesce with memoization keyed on the warp's dynamic instruction
     /// count (stable across repeated issue attempts of the same instr).
-    fn coalesce_memo(&mut self, slot_idx: usize, addr: Reg) -> Vec<LineAccess> {
+    /// Returns a shared handle: `LineAccess` holds per-lane vectors, so a
+    /// deep clone per issue attempt is real allocator traffic on the
+    /// re-visit paths (a stalled warp retries the same instruction for
+    /// many cycles).
+    fn coalesce_memo(&mut self, slot_idx: usize, addr: Reg) -> Arc<Vec<LineAccess>> {
         let word = self.cfg.word_bytes;
         let line = self.cfg.line_bytes;
         let slot = self.slots[slot_idx].as_mut().expect("checked");
         let key = slot.exec.executed;
         if let Some((k, a)) = &slot.coalesced {
             if *k == key {
-                return a.clone();
+                return Arc::clone(a);
             }
         }
-        let a = coalesce(slot.exec.reg(addr), slot.exec.active, word, line);
-        slot.coalesced = Some((key, a.clone()));
+        let a = Arc::new(coalesce(slot.exec.reg(addr), slot.exec.active, word, line));
+        slot.coalesced = Some((key, Arc::clone(&a)));
         a
     }
 
@@ -874,6 +1249,8 @@ impl Sm {
                 let token = ofl.token;
                 let block = ofl.block;
                 slot.state = WState::WaitAck;
+                self.sched_detach(slot_idx);
+                self.ready_state_count -= 1;
                 self.inflight.insert(
                     token,
                     Inflight {
@@ -899,47 +1276,40 @@ impl Sm {
         &mut self,
         now: Cycle,
         slot_idx: usize,
-        accesses: Vec<LineAccess>,
+        accesses: &[LineAccess],
         env: &mut dyn NdpEnv,
     ) -> IssueResult {
         let kernel = Arc::clone(&self.kernel);
         let n = accesses.len();
+        // Pending-buffer capacity check (shared across warps).
+        if !self
+            .buffers
+            .pending_has_room(self.staged_total.saturating_add(n))
         {
-            let slot = self.slots[slot_idx].as_ref().expect("checked");
-            let ofl = slot.ofl.as_ref().expect("role implies offload ctx");
-            // Pending-buffer capacity check (shared across warps).
-            let staged_total: usize = self
-                .slots
-                .iter()
-                .flatten()
-                .filter_map(|s| s.ofl.as_ref())
-                .map(|o| o.staged.len())
-                .sum();
-            if !self
-                .buffers
-                .pending_has_room(staged_total.saturating_add(n))
-            {
-                return IssueResult::ExecBusy;
-            }
-            let _ = ofl;
+            return IssueResult::ExecBusy;
         }
 
         // Determine target from the first memory instruction (most-accessed
-        // stack wins, first on ties — Fig. 5 policy).
+        // stack wins, first on ties — Fig. 5 policy). A fresh target makes
+        // the slot a reservation-retry candidate.
         let slot = self.slots[slot_idx].as_mut().expect("checked");
-        let ofl = slot.ofl.as_mut().expect("ctx");
-        if ofl.target.is_none() {
-            ofl.target = Some(pick_target(&accesses, &self.memmap));
+        let ofl = slot.ofl.as_mut().expect("role implies offload ctx");
+        let newly_targeted = ofl.target.is_none();
+        if newly_targeted {
+            ofl.target = Some(pick_target(accesses, &self.memmap));
         }
         let target = ofl.target.expect("set above");
         let token = ofl.token;
         let seq = ofl.seq;
         ofl.seq += 1;
+        if newly_targeted {
+            self.retry_set.insert(slot_idx);
+        }
 
         let ofl_block_id = ofl_block(self.slots[slot_idx].as_ref());
         let mut l1_hits = 0u32;
         let mut staged = vec![];
-        for access in accesses {
+        for access in accesses.iter().cloned() {
             // Probe-only L1 lookup: no MSHR, the data never returns here.
             let hit = self.cfg.rdf_probes_cache && self.l1d.contains(access.line);
             if hit {
@@ -988,9 +1358,16 @@ impl Sm {
             }
         }
         env.note_block_lines(ofl_block(self.slots[slot_idx].as_ref()), n as u32, l1_hits);
+        let added = staged.len();
         let slot = self.slots[slot_idx].as_mut().expect("checked");
         slot.exec.advance(&kernel.program);
-        slot.ofl.as_mut().expect("ctx").staged.extend(staged);
+        let ofl = slot.ofl.as_mut().expect("ctx");
+        ofl.staged.extend(staged);
+        let promotable = ofl.reserved;
+        self.staged_total += added;
+        if promotable {
+            self.promote_set.insert(slot_idx);
+        }
         self.block_instrs += 1;
         IssueResult::Issued
     }
@@ -1000,38 +1377,33 @@ impl Sm {
         &mut self,
         now: Cycle,
         slot_idx: usize,
-        accesses: Vec<LineAccess>,
+        accesses: &[LineAccess],
         env: &mut dyn NdpEnv,
     ) -> IssueResult {
         let kernel = Arc::clone(&self.kernel);
         let n = accesses.len();
-        let staged_total: usize = self
-            .slots
-            .iter()
-            .flatten()
-            .filter_map(|s| s.ofl.as_ref())
-            .map(|o| o.staged.len())
-            .sum();
         if !self
             .buffers
-            .pending_has_room(staged_total.saturating_add(n))
+            .pending_has_room(self.staged_total.saturating_add(n))
         {
             return IssueResult::ExecBusy;
         }
         let slot = self.slots[slot_idx].as_mut().expect("checked");
         let ofl = slot.ofl.as_mut().expect("role implies offload ctx");
-        if ofl.target.is_none() {
-            ofl.target = Some(pick_target(&accesses, &self.memmap));
+        let newly_targeted = ofl.target.is_none();
+        if newly_targeted {
+            ofl.target = Some(pick_target(accesses, &self.memmap));
         }
         let target = ofl.target.expect("set");
         let token = ofl.token;
         let seq = ofl.seq;
         ofl.seq += 1;
+        let reserved = ofl.reserved;
         let n_accesses = accesses.len() as u8;
         let mut wta_hmcs = Vec::with_capacity(accesses.len());
-        for access in accesses {
+        for access in accesses.iter().cloned() {
             wta_hmcs.push(self.memmap.hmc_of(access.line));
-            ofl.staged.push(Packet::new(
+            ofl.staged.push_back(Packet::new(
                 Node::Sm(self.cfg.id),
                 Node::Nsu(target.0),
                 now,
@@ -1045,6 +1417,13 @@ impl Sm {
             ));
         }
         slot.exec.advance(&kernel.program);
+        self.staged_total += n;
+        if newly_targeted {
+            self.retry_set.insert(slot_idx);
+        }
+        if reserved {
+            self.promote_set.insert(slot_idx);
+        }
         self.block_instrs += 1;
         for h in wta_hmcs {
             env.note_wta_line(h);
@@ -1059,24 +1438,33 @@ impl Sm {
         slot_idx: usize,
         idx: usize,
         dst: Reg,
-        accesses: Vec<LineAccess>,
+        accesses: &[LineAccess],
         env: &mut dyn NdpEnv,
     ) -> IssueResult {
         let kernel = Arc::clone(&self.kernel);
         // Structural checks first: we need room for worst-case misses.
         let misses_possible = accesses.len();
         if self.out.len() + misses_possible > self.cfg.out_capacity {
-            self.nap(slot_idx, now + 4);
+            self.nap(now, slot_idx, now + 4);
             return IssueResult::ExecBusy;
         }
-        // MSHR room for new misses (conservative).
-        let new_lines = accesses
-            .iter()
-            .filter(|a| !self.l1d.contains(a.line))
-            .count();
-        if self.l1d.mshr_used() + new_lines > self.l1d.mshr_capacity() {
-            self.nap(slot_idx, now + 4);
-            return IssueResult::ExecBusy;
+        // MSHR room for new misses (conservative: a resident probe per
+        // line). Stop counting as soon as the headroom is exceeded — under
+        // MSHR backpressure this is the hottest no-issue path in the SM,
+        // and each napping warp re-runs the check every few cycles.
+        let headroom = self
+            .l1d
+            .mshr_capacity()
+            .saturating_sub(self.l1d.mshr_used());
+        let mut new_lines = 0usize;
+        for a in accesses {
+            if !self.l1d.contains(a.line) {
+                new_lines += 1;
+                if new_lines > headroom {
+                    self.nap(now, slot_idx, now + 4);
+                    return IssueResult::ExecBusy;
+                }
+            }
         }
 
         let track_id = self.next_track;
@@ -1084,7 +1472,7 @@ impl Sm {
         let mut remaining = 0u32;
         let mut l1_hits = 0u32;
         let n_lines = accesses.len() as u32;
-        for access in &accesses {
+        for access in accesses {
             match self.l1d.probe_read(access.line, track_id) {
                 Probe::Hit => l1_hits += 1,
                 Probe::MissMerged => remaining += 1,
@@ -1143,13 +1531,13 @@ impl Sm {
         now: Cycle,
         slot_idx: usize,
         idx: usize,
-        accesses: Vec<LineAccess>,
+        accesses: &[LineAccess],
     ) -> IssueResult {
         let kernel = Arc::clone(&self.kernel);
         if self.out.len() + accesses.len() > self.cfg.out_capacity {
             return IssueResult::ExecBusy;
         }
-        for access in &accesses {
+        for access in accesses {
             self.l1d.write_touch(access.line);
             self.out.push_back(Packet::new(
                 Node::Sm(self.cfg.id),
@@ -1170,8 +1558,34 @@ impl Sm {
         IssueResult::Issued
     }
 
+    /// Release every Barrier-state warp of `cta` back into the ready set.
+    /// All of them are immediately issuable: a warp only reaches `Barrier`
+    /// by issuing its BAR, so its `wake_at` predates that issue cycle.
+    fn release_barrier(&mut self, cta: u32) {
+        for i in 0..self.slots.len() {
+            let Some(s) = self.slots[i].as_mut() else {
+                continue;
+            };
+            if s.cta == cta && s.state == WState::Barrier {
+                s.state = WState::Ready;
+                self.ready_state_count += 1;
+                self.sched_ready.insert(i);
+            }
+        }
+    }
+
     fn finish_warp(&mut self, slot_idx: usize) {
+        self.sched_detach(slot_idx);
+        self.retry_set.remove(slot_idx);
+        self.promote_set.remove(slot_idx);
         let slot = self.slots[slot_idx].take().expect("checked");
+        debug_assert_eq!(
+            slot.state,
+            WState::Ready,
+            "warps finish from the issue scan"
+        );
+        self.ready_state_count -= 1;
+        self.staged_total -= slot.ofl.as_ref().map_or(0, |o| o.staged.len());
         if let Some(alive) = self.cta_alive.get_mut(&slot.cta) {
             *alive -= 1;
             // Release barrier waiters if this warp's exit satisfies the CTA.
@@ -1179,11 +1593,7 @@ impl Sm {
             let arrived = self.barrier_arrived.get(&cta).copied().unwrap_or(0);
             if *alive > 0 && arrived >= *alive {
                 self.barrier_arrived.insert(cta, 0);
-                for s in self.slots.iter_mut().flatten() {
-                    if s.cta == cta && s.state == WState::Barrier {
-                        s.state = WState::Ready;
-                    }
-                }
+                self.release_barrier(cta);
             }
         }
         self.warps_retired += 1;
@@ -1205,8 +1615,8 @@ impl Sm {
                             if self.incarnation[slot_idx] == inc {
                                 if let Some(slot) = self.slots[slot_idx].as_mut() {
                                     slot.reg_ready[dst.0 as usize] = now + 2;
-                                    slot.wake_at = 0;
                                 }
+                                self.wake_now(slot_idx);
                             }
                         }
                     }
@@ -1224,9 +1634,15 @@ impl Sm {
                     for r in &b.live_out {
                         slot.reg_ready[r.0 as usize] = now + 2;
                     }
+                    let leftover = slot.ofl.as_ref().map_or(0, |o| o.staged.len());
                     slot.ofl = None;
                     slot.state = WState::Ready;
                     slot.wake_at = 0;
+                    self.staged_total -= leftover;
+                    self.retry_set.remove(inf.slot);
+                    self.promote_set.remove(inf.slot);
+                    self.ready_state_count += 1;
+                    self.sched_ready.insert(inf.slot);
                 }
             }
             _ => {
@@ -1282,33 +1698,24 @@ impl Sm {
 
     /// Quiescence horizon (see [`ndp_common::port::Component::next_work_at`]):
     /// the earliest cycle a tick could spawn, reserve, issue, promote, or
-    /// eject anything. Anything whose progress depends on state outside the
-    /// SM (reservation grants, staged promotions, buffered packets) is
-    /// conservatively "work now"; the only deferrals are dependency-stalled
-    /// warps with a known wake cycle. Warps blocked on a barrier or an
-    /// offload ACK wake via packet delivery or a sibling warp's issue, both
-    /// of which are visible to other horizons, so they contribute `None`.
+    /// eject anything. O(1): every act-now condition is a maintained
+    /// membership set (see the `WAKE_SOURCES` contract), and the only
+    /// deferrals — dependency-stalled warps with a known wake cycle — sit
+    /// in the wake-wheel, whose first key is the exact horizon. Warps
+    /// blocked on a barrier or an offload ACK wake via packet delivery or
+    /// a sibling warp's issue, both visible to other horizons, so they
+    /// contribute `None`.
     pub fn next_work_at(&self, now: Cycle) -> Option<Cycle> {
-        if !self.launch_queue.is_empty() || !self.buffers.is_empty() {
+        if !self.launch_queue.is_empty()
+            || !self.buffers.is_empty()
+            || !self.sched_ready.is_empty()
+            || !self.retry_set.is_empty()
+            || !self.promote_set.is_empty()
+        {
             return Some(now);
         }
-        let mut horizon: Option<Cycle> = None;
-        for slot in self.slots.iter().flatten() {
-            if let Some(ofl) = &slot.ofl {
-                if ofl.target.is_some() && (!ofl.reserved || !ofl.staged.is_empty()) {
-                    return Some(now);
-                }
-            }
-            if slot.state == WState::Ready {
-                if slot.wake_at <= now {
-                    return Some(now);
-                }
-                if slot.wake_at != Cycle::MAX {
-                    horizon = Some(horizon.map_or(slot.wake_at, |h: Cycle| h.min(slot.wake_at)));
-                }
-            }
-        }
-        horizon
+        // `max(now)` covers not-yet-serviced keys right after a restore.
+        self.wake_wheel.keys().next().map(|&at| at.max(now))
     }
 
     /// Replay the issue-stall statistics an elided tick would have
@@ -1318,12 +1725,7 @@ impl Sm {
     /// otherwise WarpIdle. ExecUnitBusy is impossible without an issue
     /// attempt. Everything else in `tick` is a no-op on such cycles.
     pub fn note_skipped(&mut self, k: u64) {
-        let any_ready = self
-            .slots
-            .iter()
-            .flatten()
-            .any(|s| s.state == WState::Ready);
-        if any_ready {
+        if self.ready_state_count > 0 {
             self.stats.dependency_stall += k;
         } else {
             self.stats.warp_idle += k;

@@ -343,6 +343,24 @@ pub mod de {
         }
     }
 
+    /// Decode field `name` of object `v`, substituting `Default::default()`
+    /// when the key is absent (`#[serde(default)]`: lets a schema grow
+    /// fields while older serialized forms keep deserializing).
+    pub fn field_or_default<'de, T: Deserialize<'de> + Default>(
+        v: &Value,
+        name: &str,
+    ) -> Result<T, DeError> {
+        match v {
+            Value::Map(_) => match v.get(name) {
+                Some(val) => {
+                    T::from_value(val).map_err(|e| e.context(&format!("field `{name}`")))
+                }
+                None => Ok(T::default()),
+            },
+            other => Err(DeError::msg(format!("expected object, got {}", other.kind()))),
+        }
+    }
+
     /// Decode element `i` of a sequence (tuple structs / tuple variants).
     pub fn elem<'de, T: Deserialize<'de>>(s: &[Value], i: usize, ctx: &str) -> Result<T, DeError> {
         let v = s

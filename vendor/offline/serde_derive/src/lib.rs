@@ -22,6 +22,15 @@ use proc_macro::{Delimiter, TokenStream, TokenTree};
 struct Field {
     name: String,
     skip_if: Option<String>,
+    /// `#[serde(default)]`: a missing key deserializes to `Default::default()`.
+    use_default: bool,
+}
+
+/// One parsed `#[serde(..)]` field attribute.
+enum SerdeAttr {
+    None,
+    SkipIf(String),
+    Default,
 }
 
 struct Variant {
@@ -189,10 +198,10 @@ fn count_top_level_fields(ts: TokenStream) -> usize {
     arity
 }
 
-/// Extract `skip_serializing_if = "path"` from a `#[serde(..)]` attribute
-/// group, if present. Any other serde attribute is an error (better loud
-/// than silently ignored).
-fn serde_attr(group_tokens: Vec<TokenTree>) -> Result<Option<String>, String> {
+/// Extract `skip_serializing_if = "path"` or `default` from a
+/// `#[serde(..)]` attribute group, if present. Any other serde attribute
+/// is an error (better loud than silently ignored).
+fn serde_attr(group_tokens: Vec<TokenTree>) -> Result<SerdeAttr, String> {
     match (group_tokens.first(), group_tokens.get(1)) {
         (Some(TokenTree::Ident(id)), Some(TokenTree::Group(inner))) if id.to_string() == "serde" => {
             let inner_toks: Vec<TokenTree> = inner.stream().into_iter().collect();
@@ -203,15 +212,18 @@ fn serde_attr(group_tokens: Vec<TokenTree>) -> Result<Option<String>, String> {
                     Some(TokenTree::Literal(lit)),
                 ) if key.to_string() == "skip_serializing_if" && eq.as_char() == '=' => {
                     let raw = lit.to_string();
-                    Ok(Some(raw.trim_matches('"').to_string()))
+                    Ok(SerdeAttr::SkipIf(raw.trim_matches('"').to_string()))
+                }
+                (Some(TokenTree::Ident(key)), None, None) if key.to_string() == "default" => {
+                    Ok(SerdeAttr::Default)
                 }
                 _ => Err(format!(
-                    "unsupported #[serde(..)] attribute `{}` (offline shim understands only skip_serializing_if)",
+                    "unsupported #[serde(..)] attribute `{}` (offline shim understands only skip_serializing_if and default)",
                     inner
                 )),
             }
         }
-        _ => Ok(None), // not a serde attribute (doc comment etc.)
+        _ => Ok(SerdeAttr::None), // not a serde attribute (doc comment etc.)
     }
 }
 
@@ -221,6 +233,7 @@ fn parse_named_fields(ts: TokenStream) -> Result<Vec<Field>, String> {
     let mut fields = Vec::new();
     while i < toks.len() {
         let mut skip_if = None;
+        let mut use_default = false;
         // Attributes / doc comments.
         while let Some(TokenTree::Punct(p)) = toks.get(i) {
             if p.as_char() != '#' {
@@ -228,8 +241,10 @@ fn parse_named_fields(ts: TokenStream) -> Result<Vec<Field>, String> {
             }
             i += 1;
             if let Some(TokenTree::Group(g)) = toks.get(i) {
-                if let Some(s) = serde_attr(g.stream().into_iter().collect())? {
-                    skip_if = Some(s);
+                match serde_attr(g.stream().into_iter().collect())? {
+                    SerdeAttr::SkipIf(s) => skip_if = Some(s),
+                    SerdeAttr::Default => use_default = true,
+                    SerdeAttr::None => {}
                 }
                 i += 1;
             } else {
@@ -278,7 +293,7 @@ fn parse_named_fields(ts: TokenStream) -> Result<Vec<Field>, String> {
             }
             i += 1;
         }
-        fields.push(Field { name, skip_if });
+        fields.push(Field { name, skip_if, use_default });
     }
     Ok(fields)
 }
@@ -452,7 +467,10 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
         Shape::Named { fields } => {
             let inits: Vec<String> = fields
                 .iter()
-                .map(|f| format!("{0}: ::serde::de::field(__v, {0:?})?", f.name))
+                .map(|f| {
+                    let helper = if f.use_default { "field_or_default" } else { "field" };
+                    format!("{0}: ::serde::de::{helper}(__v, {0:?})?", f.name)
+                })
                 .collect();
             format!("::std::result::Result::Ok({ty} {{ {} }})", inits.join(", "))
         }
