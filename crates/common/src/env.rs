@@ -175,6 +175,14 @@ pub const KNOWN: &[(&str, &str)] = &[
         "NDP_STALL_DUMP",
         "directory to dump a post-mortem checkpoint into when the watchdog fires",
     ),
+    (
+        "NDP_RACE",
+        "arm the deterministic shared-state race detector (flag)",
+    ),
+    (
+        "NDP_RACE_LOG",
+        "retain a bounded per-access trace while the race detector is armed (flag)",
+    ),
 ];
 
 /// `NDP_`-prefixed variables set in the process environment that are not in
@@ -309,6 +317,23 @@ mod tests {
             .expect("typoed checkpoint knob reported");
         assert_eq!(hit.1, Some("NDP_RESUME"));
         std::env::remove_var("NDP_RESUM");
+    }
+
+    #[test]
+    fn typo_detection_covers_race_knobs() {
+        // The race-detector surface is registered: the real names are
+        // known (not typos), and a misspelled knob suggests the real one.
+        for k in ["NDP_RACE", "NDP_RACE_LOG"] {
+            assert!(KNOWN.iter().any(|(n, _)| *n == k), "{k} unregistered");
+        }
+        std::env::set_var("NDP_RACE_LOGG", "1");
+        let unknown = unknown_ndp_vars();
+        let hit = unknown
+            .iter()
+            .find(|(name, _)| name == "NDP_RACE_LOGG")
+            .expect("typoed race knob reported");
+        assert_eq!(hit.1, Some("NDP_RACE_LOG"));
+        std::env::remove_var("NDP_RACE_LOGG");
     }
 
     #[test]

@@ -1,0 +1,498 @@
+//! Shared-state footprints and the deterministic race detector.
+//!
+//! The fabric executes most stages as a sequential member loop, but the
+//! `NDP_PARALLEL` path ticks the HMC-stack and NSU interiors on scoped
+//! threads, and ROADMAP item 1 wants `tick:sms` parallel too. Whether a
+//! member loop *may* go parallel is a property of what shared state its
+//! members touch per tick — so every component class declares a
+//! [`Footprint`]: the named shared resources it reads and writes from
+//! inside its `tick`. The declarations are checked twice (DESIGN.md §16):
+//!
+//! * **Statically** — `FabricGraph::check_parallel_safety` (ndp-lint
+//!   Pass 2) proves that every member of a parallel-eligible stage has a
+//!   write-free footprint, and renders the per-stage conflict report
+//!   (`results/parallel_footprint.txt`) naming exactly which shared
+//!   resources serialize the remaining stages.
+//! * **Dynamically** — `NDP_RACE=1` arms the [`RaceDetector`]: every
+//!   declared-resource access is recorded with the accessor's identity
+//!   and the current stage epoch, and an access outside the accessor's
+//!   declared footprint ([`SimError::UndeclaredAccess`]) or a conflicting
+//!   cross-member access inside a parallel region
+//!   ([`SimError::DataRace`]) is a typed error naming the resource, both
+//!   accessors, and the cycle. The dynamic side mechanically validates
+//!   the static declarations, the same coupling discipline as the
+//!   `WAKE_SOURCES` quiescence pass (DESIGN.md §14).
+//!
+//! The detector is strictly read-only with respect to the model: arming
+//! it never changes simulation output (pinned byte-identical by
+//! `tests/perf_profile.rs` and the `NDP_RACE=1` equivalence leg).
+
+use std::cell::Cell;
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use crate::error::SimError;
+use crate::ids::Cycle;
+
+/// Canonical shared-resource names. Components declare footprints and the
+/// access hooks record against these constants, so the static and dynamic
+/// sides cannot drift apart by a typo'd string.
+pub mod res {
+    /// NSU buffer-credit pools (`BufferManager`): `try_reserve` decrements,
+    /// credit-return messages replenish.
+    pub const CTRL_CREDITS: &str = "ctrl.credits";
+    /// Offload decision stream: `offered`/`offloaded` counters and the
+    /// sampled per-warp decision log.
+    pub const CTRL_DECISIONS: &str = "ctrl.decisions";
+    /// Per-block cache-behaviour statistics feeding the §7.3 locality gate.
+    pub const CTRL_BLOCK_STATS: &str = "ctrl.block_stats";
+    /// Algorithm-1 hill-climb state: current ratio and the epoch
+    /// instruction counter it steps on.
+    pub const CTRL_HILL_CLIMB: &str = "ctrl.hill_climb";
+    /// In-flight WTA line counters per stack (write-throttle accounting).
+    pub const CTRL_WTA_INFLIGHT: &str = "ctrl.wta_inflight";
+    /// Per-NSU read-only cache directories (RO-line residency tracking).
+    pub const CTRL_RO_CACHE: &str = "ctrl.ro_cache";
+    /// Observability event ring (`obs`): append-only event log.
+    pub const OBS_EVENT_RING: &str = "obs.event_ring";
+    /// Fault-injector RNG stream: draws are order-dependent.
+    pub const FAULT_RNG: &str = "fault.rng";
+    /// Watchdog progress counter: any-progress notifications.
+    pub const WATCHDOG_PROGRESS: &str = "watchdog.progress";
+}
+
+/// How a shared resource is touched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Access {
+    Read,
+    Write,
+}
+
+/// The per-tick shared-state footprint of one component class: which
+/// shared resources any member may read or write from inside its `tick`
+/// (including calls it makes into the shared `NdpEnv`). Write membership
+/// implies read permission — a read-modify-write declares only the write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Footprint {
+    pub reads: &'static [&'static str],
+    pub writes: &'static [&'static str],
+}
+
+impl Footprint {
+    /// The footprint of a component whose tick touches no shared state —
+    /// what certifies its stage parallel-eligible by construction.
+    pub const EMPTY: Footprint = Footprint {
+        reads: &[],
+        writes: &[],
+    };
+
+    /// Whether `access` on `resource` is covered by this declaration.
+    pub fn allows(&self, resource: &str, access: Access) -> bool {
+        match access {
+            Access::Write => self.writes.contains(&resource),
+            Access::Read => self.reads.contains(&resource) || self.writes.contains(&resource),
+        }
+    }
+
+    /// True when the footprint declares no shared writes (reads are safe
+    /// to share across concurrent members).
+    pub fn is_write_free(&self) -> bool {
+        self.writes.is_empty()
+    }
+}
+
+// The identity of the member currently ticking on this thread. Set by the
+// fabric owner around each member's tick (and inside each spawned scoped
+// thread on the parallel path); access hooks that fire with no accessor
+// set — deliveries, credit drains, controller side-stages, tests poking
+// the controller directly — are fabric-owner work, serialized by
+// construction, and are not recorded.
+thread_local! {
+    static ACCESSOR: Cell<Option<(&'static str, usize)>> = const { Cell::new(None) };
+}
+
+/// Mark the current thread as ticking member `lane` of component class
+/// `class` (e.g. `("sm", 3)`). Only called when the detector is armed.
+pub fn set_accessor(class: &'static str, lane: usize) {
+    ACCESSOR.with(|a| a.set(Some((class, lane))));
+}
+
+/// Clear the current thread's accessor mark (end of a member loop).
+pub fn clear_accessor() {
+    ACCESSOR.with(|a| a.set(None));
+}
+
+fn current_accessor() -> Option<(&'static str, usize)> {
+    ACCESSOR.with(|a| a.get())
+}
+
+/// One recorded access to a shared resource.
+#[derive(Debug, Clone)]
+struct Rec {
+    class: &'static str,
+    lane: usize,
+    write: bool,
+    cycle: Cycle,
+    epoch: u64,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    /// Declared footprint per component class (accessor class name).
+    footprints: Vec<(&'static str, Footprint)>,
+    /// Stage whose member loop is currently running.
+    stage: Option<&'static str>,
+    /// Whether the current member loop actually took the threaded path.
+    parallel: bool,
+    /// Stages treated as parallel regions spanning the whole run: records
+    /// never expire, so *any* cross-member conflict — even one separated
+    /// by many cycles — is promoted to a `DataRace`. Test hook used to
+    /// demonstrate deterministically what parallel `tick:sms` would trip.
+    forced: Vec<&'static str>,
+    /// Monotonic member-loop counter; records from earlier epochs of the
+    /// same stage are stale (the loop restarted, accesses are ordered).
+    epoch: u64,
+    now: Cycle,
+    /// Recorded accesses keyed by (stage, resource).
+    records: HashMap<(&'static str, &'static str), Vec<Rec>>,
+    /// Cross-member conflicts observed on *sequential* member loops,
+    /// keyed by (stage, resource) — the dynamic evidence for the static
+    /// conflict report (these are exactly the accesses that would race if
+    /// the stage went parallel).
+    would_conflict: HashMap<(&'static str, &'static str), u64>,
+    accesses: u64,
+    error: Option<SimError>,
+    trace: Vec<String>,
+}
+
+/// Maximum retained trace lines under `NDP_RACE_LOG=1` (bounded so a long
+/// run cannot exhaust memory; the head of the trace is what matters for
+/// diagnosing the first conflict).
+const TRACE_CAP: usize = 4096;
+
+/// The epoch-tagged shared-resource access recorder behind `NDP_RACE=1`.
+///
+/// One instance is shared (via `Arc`) between `System` — which brackets
+/// each member loop with [`RaceDetector::begin_members`] and marks the
+/// per-member accessor — and the `OffloadController`, whose `NdpEnv`
+/// methods record their declared resource accesses. All state lives
+/// behind one `Mutex`: the detector is correctness tooling, not a fast
+/// path, and the armed cost is irrelevant as long as the *disarmed* cost
+/// is zero (no detector → no TLS writes, no locks, no recording).
+#[derive(Debug)]
+pub struct RaceDetector {
+    inner: Mutex<Inner>,
+    log: bool,
+}
+
+impl RaceDetector {
+    /// Build a detector over the given per-class footprint declarations.
+    /// `log` retains a bounded human-readable access trace
+    /// (`NDP_RACE_LOG=1`), retrievable via [`RaceDetector::take_trace`].
+    pub fn new(footprints: Vec<(&'static str, Footprint)>, log: bool) -> Self {
+        RaceDetector {
+            inner: Mutex::new(Inner {
+                footprints,
+                ..Inner::default()
+            }),
+            log,
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        // A panicking member thread poisons the lock; the detector's state
+        // is still coherent for error reporting, so ignore the poison.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Start a member loop: `stage` is the fabric stage label (e.g.
+    /// `tick:sms`), `parallel` whether this pass actually ticks members on
+    /// threads. Bumps the epoch so records from the previous pass of the
+    /// same stage no longer conflict (sequential passes are ordered).
+    pub fn begin_members(&self, stage: &'static str, parallel: bool, now: Cycle) {
+        let mut g = self.lock();
+        g.epoch += 1;
+        g.stage = Some(stage);
+        g.parallel = parallel;
+        g.now = now;
+    }
+
+    /// Treat `stage` as a run-spanning parallel region: records never go
+    /// stale, so any cross-member conflict on it becomes a `DataRace`
+    /// regardless of which sequential pass each access happened in.
+    /// Deterministic test hook — see `tests/static_verify.rs`.
+    pub fn force_parallel(&self, stage: &'static str) {
+        self.lock().forced.push(stage);
+    }
+
+    /// Record one access to `resource` by the current thread's accessor.
+    /// No-op when no accessor is set (fabric-owner work). Parks the first
+    /// `UndeclaredAccess`/`DataRace` error for [`RaceDetector::take_error`].
+    pub fn record(&self, resource: &'static str, access: Access) {
+        let Some((class, lane)) = current_accessor() else {
+            return;
+        };
+        let write = access == Access::Write;
+        let mut g = self.lock();
+        if g.error.is_some() {
+            return; // keep the first error; the run is already doomed
+        }
+        g.accesses += 1;
+        let now = g.now;
+        if self.log && g.trace.len() < TRACE_CAP {
+            let stage = g.stage.unwrap_or("-");
+            let rw = if write { "W" } else { "R" };
+            g.trace
+                .push(format!("cycle {now} {stage} {class}{lane} {rw} {resource}"));
+        }
+
+        // Undeclared-access check: the accessor's class must declare the
+        // resource (writes need write membership).
+        let declared = g
+            .footprints
+            .iter()
+            .find(|(c, _)| *c == class)
+            .map(|(_, fp)| fp.allows(resource, access))
+            .unwrap_or(false);
+        if !declared {
+            g.error = Some(SimError::UndeclaredAccess {
+                resource: resource.to_string(),
+                accessor: format!("{class}[{lane}]"),
+                cycle: now,
+            });
+            return;
+        }
+
+        let Some(stage) = g.stage else {
+            return; // accessor set outside any member loop: nothing to order against
+        };
+        let forced = g.forced.contains(&stage);
+        let parallel = g.parallel;
+        let epoch = g.epoch;
+        let recs = g.records.entry((stage, resource)).or_default();
+        // Records from earlier passes of this stage are ordered before us
+        // by the sequential fabric — unless the stage is a (forced)
+        // run-spanning parallel region, where every pass is concurrent.
+        if !forced {
+            recs.retain(|r| r.epoch == epoch);
+        }
+        let conflict = recs
+            .iter()
+            .find(|r| (r.class, r.lane) != (class, lane) && (r.write || write))
+            .cloned();
+        recs.push(Rec {
+            class,
+            lane,
+            write,
+            cycle: now,
+            epoch,
+        });
+        if let Some(c) = conflict {
+            if parallel || forced {
+                g.error = Some(SimError::DataRace {
+                    stage,
+                    resource: resource.to_string(),
+                    first: format!("{}[{}] at cycle {}", c.class, c.lane, c.cycle),
+                    second: format!("{class}[{lane}]"),
+                    cycle: now,
+                });
+            } else {
+                *g.would_conflict.entry((stage, resource)).or_default() += 1;
+            }
+        }
+    }
+
+    /// Take the parked error, if any (polled once per cycle by the system).
+    pub fn take_error(&self) -> Option<SimError> {
+        self.lock().error.take()
+    }
+
+    /// `(accesses recorded, sequential cross-member conflicts observed)` —
+    /// the first proves the detector was engaged, the second is the
+    /// dynamic evidence that a stage's member loop is order-dependent.
+    pub fn stats(&self) -> (u64, u64) {
+        let g = self.lock();
+        (g.accesses, g.would_conflict.values().sum())
+    }
+
+    /// Sequential cross-member conflict sites as `(stage, resource, count)`,
+    /// sorted for deterministic output.
+    pub fn conflict_sites(&self) -> Vec<(&'static str, &'static str, u64)> {
+        let g = self.lock();
+        let mut v: Vec<_> = g
+            .would_conflict
+            .iter()
+            .map(|(&(s, r), &n)| (s, r, n))
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Drain the bounded access trace (`NDP_RACE_LOG=1`; empty otherwise).
+    pub fn take_trace(&self) -> Vec<String> {
+        std::mem::take(&mut self.lock().trace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FP_A: Footprint = Footprint {
+        reads: &["pool"],
+        writes: &["log"],
+    };
+
+    fn det() -> RaceDetector {
+        RaceDetector::new(vec![("a", FP_A), ("b", Footprint::EMPTY)], false)
+    }
+
+    #[test]
+    fn allows_covers_reads_writes_and_rmw() {
+        assert!(FP_A.allows("pool", Access::Read));
+        assert!(!FP_A.allows("pool", Access::Write));
+        assert!(FP_A.allows("log", Access::Write));
+        assert!(FP_A.allows("log", Access::Read)); // write implies read
+        assert!(!FP_A.allows("ghost", Access::Read));
+        assert!(Footprint::EMPTY.is_write_free());
+        assert!(!FP_A.is_write_free());
+    }
+
+    #[test]
+    fn no_accessor_means_no_recording() {
+        let d = det();
+        d.begin_members("tick:x", false, 1);
+        d.record("log", Access::Write);
+        assert_eq!(d.stats(), (0, 0));
+        assert!(d.take_error().is_none());
+    }
+
+    #[test]
+    fn undeclared_access_is_typed_and_named() {
+        let d = det();
+        d.begin_members("tick:x", false, 7);
+        set_accessor("b", 2);
+        d.record("log", Access::Write); // b declares nothing
+        clear_accessor();
+        match d.take_error() {
+            Some(SimError::UndeclaredAccess {
+                resource,
+                accessor,
+                cycle,
+            }) => {
+                assert_eq!(resource, "log");
+                assert_eq!(accessor, "b[2]");
+                assert_eq!(cycle, 7);
+            }
+            other => panic!("expected UndeclaredAccess, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn read_beyond_declared_write_set_is_undeclared() {
+        let d = det();
+        d.begin_members("tick:x", false, 1);
+        set_accessor("a", 0);
+        d.record("pool", Access::Write); // declared read-only
+        clear_accessor();
+        assert!(matches!(
+            d.take_error(),
+            Some(SimError::UndeclaredAccess { .. })
+        ));
+    }
+
+    #[test]
+    fn sequential_conflicts_are_counted_not_fatal() {
+        let d = det();
+        d.begin_members("tick:x", false, 1);
+        set_accessor("a", 0);
+        d.record("log", Access::Write);
+        set_accessor("a", 1);
+        d.record("log", Access::Write); // cross-member WW, but sequential
+        clear_accessor();
+        assert!(d.take_error().is_none());
+        assert_eq!(d.stats(), (2, 1));
+        assert_eq!(d.conflict_sites(), vec![("tick:x", "log", 1)]);
+    }
+
+    #[test]
+    fn parallel_conflict_is_a_data_race_naming_both_accessors() {
+        let d = det();
+        d.begin_members("tick:x", true, 9);
+        set_accessor("a", 0);
+        d.record("log", Access::Write);
+        set_accessor("a", 3);
+        d.record("log", Access::Write);
+        clear_accessor();
+        match d.take_error() {
+            Some(SimError::DataRace {
+                stage,
+                resource,
+                first,
+                second,
+                cycle,
+            }) => {
+                assert_eq!(stage, "tick:x");
+                assert_eq!(resource, "log");
+                assert!(first.starts_with("a[0]"), "{first}");
+                assert_eq!(second, "a[3]");
+                assert_eq!(cycle, 9);
+            }
+            other => panic!("expected DataRace, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn concurrent_reads_do_not_race() {
+        let d = det();
+        d.begin_members("tick:x", true, 1);
+        set_accessor("a", 0);
+        d.record("pool", Access::Read);
+        set_accessor("a", 1);
+        d.record("pool", Access::Read);
+        clear_accessor();
+        assert!(d.take_error().is_none());
+    }
+
+    #[test]
+    fn epoch_bump_retires_prior_pass_records() {
+        let d = det();
+        d.begin_members("tick:x", true, 1);
+        set_accessor("a", 0);
+        d.record("log", Access::Write);
+        d.begin_members("tick:x", true, 2); // next cycle's pass
+        set_accessor("a", 1);
+        d.record("log", Access::Write); // ordered after the epoch barrier
+        clear_accessor();
+        assert!(d.take_error().is_none());
+    }
+
+    #[test]
+    fn forced_stage_spans_epochs() {
+        let d = det();
+        d.force_parallel("tick:x");
+        d.begin_members("tick:x", false, 1);
+        set_accessor("a", 0);
+        d.record("log", Access::Write);
+        d.begin_members("tick:x", false, 2);
+        set_accessor("a", 1);
+        d.record("log", Access::Write);
+        clear_accessor();
+        assert!(matches!(d.take_error(), Some(SimError::DataRace { .. })));
+    }
+
+    #[test]
+    fn trace_is_bounded_and_gated_on_log_flag() {
+        let d = RaceDetector::new(vec![("a", FP_A)], true);
+        d.begin_members("tick:x", false, 1);
+        set_accessor("a", 0);
+        for _ in 0..2 {
+            d.record("pool", Access::Read);
+        }
+        clear_accessor();
+        let t = d.take_trace();
+        assert_eq!(t.len(), 2);
+        assert!(t[0].contains("tick:x a0 R pool"), "{}", t[0]);
+        assert!(det().take_trace().is_empty());
+    }
+}

@@ -8,8 +8,8 @@
 //! across every workload, both bench scales, and a fault-injection seed.
 //!
 //! Modes are selected with [`System::set_skip`] / [`System::set_parallel`]
-//! rather than `NDP_NO_SKIP` / `NDP_PARALLEL`: env vars are process-global
-//! and tests run concurrently.
+//! / [`System::set_race`] rather than `NDP_NO_SKIP` / `NDP_PARALLEL` /
+//! `NDP_RACE`: env vars are process-global and tests run concurrently.
 
 use standardized_ndp::prelude::*;
 
@@ -135,6 +135,50 @@ fn parallel_equivalence() {
                 parallel: true,
             },
         );
+    }
+}
+
+/// The NDP_RACE leg of the matrix: every workload runs the shipped
+/// parallel combination with the shared-state race detector armed. Three
+/// contracts at once — (1) the detector is read-only (byte-identical
+/// `RunResult` vs the plain per-cycle run), (2) the threaded stack/NSU
+/// stages are race-free in practice (the run completes instead of
+/// returning `SimError::DataRace`), and (3) the footprint declarations
+/// are complete (no `UndeclaredAccess`, with the detector demonstrably
+/// engaged on every workload).
+#[test]
+fn race_detector_parallel_equivalence_all_workloads() {
+    for w in WORKLOADS {
+        let base = run_mode(
+            &SystemConfig::ndp_dynamic_cache(),
+            w,
+            &SMALL,
+            8,
+            Mode {
+                skip: false,
+                parallel: false,
+            },
+        );
+        let mut cfg = SystemConfig::ndp_dynamic_cache();
+        cfg.gpu.num_sms = 8;
+        let p = w.build(&SMALL);
+        let mut sys = System::new(cfg, &p);
+        sys.set_skip(true);
+        sys.set_parallel(true);
+        sys.set_race(true);
+        let race = sys.race_handle().expect("detector armed");
+        let r = sys
+            .run(MAX)
+            .unwrap_or_else(|e| panic!("{}: race leg failed: {e}", w.name()));
+        assert!(!r.timed_out, "{} timed out", w.name());
+        assert_eq!(
+            format!("{base:#?}"),
+            format!("{r:#?}"),
+            "{}: armed race detector changed simulation output",
+            w.name()
+        );
+        let (accesses, _) = race.stats();
+        assert!(accesses > 0, "{}: detector never engaged", w.name());
     }
 }
 

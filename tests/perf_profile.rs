@@ -45,6 +45,40 @@ fn profiling_keeps_sim_output_byte_identical() {
     assert_eq!(off.nsu_instrs, on.nsu_instrs);
 }
 
+/// The race detector (DESIGN.md §16) follows the same contract as the
+/// profiler: disarmed it costs nothing (no state, no hooks taken), and
+/// armed it is read-only — the `{:#?}` golden rendering must be
+/// byte-identical either way, with the armed run demonstrably recording.
+#[test]
+fn race_detector_keeps_sim_output_byte_identical() {
+    let run = |race: bool| {
+        let mut cfg = SystemConfig::ndp_dynamic_cache();
+        cfg.gpu.num_sms = 8;
+        let program = Workload::Vadd.build(&Scale {
+            warps: 64,
+            iters: 4,
+        });
+        let mut sys = System::new(cfg, &program);
+        // Explicit setter, not NDP_RACE: env vars are process-global.
+        sys.set_race(race);
+        let handle = sys.race_handle();
+        let r = sys.run(MAX).expect("no protocol violation");
+        assert!(!r.timed_out);
+        (r, handle)
+    };
+    let (off, off_handle) = run(false);
+    let (on, on_handle) = run(true);
+    assert!(off_handle.is_none(), "disarmed run must carry no detector");
+    let race = on_handle.expect("armed run must carry a detector");
+    assert_eq!(
+        format!("{off:#?}"),
+        format!("{on:#?}"),
+        "race detector changed the golden-visible simulation output"
+    );
+    let (accesses, _) = race.stats();
+    assert!(accesses > 0, "armed detector never engaged");
+}
+
 /// The typed env knob arms profiling through `System` construction.
 #[test]
 fn ndp_perf_env_knob_arms_profiling() {
